@@ -1,0 +1,151 @@
+// Command reproduce runs the full experiment suite: every figure of the
+// paper on the simulated paper machine (4x24x2 Xeon), plus native
+// spot-checks on this host, and prints the paper-vs-reproduction
+// comparison that EXPERIMENTS.md records.
+//
+//	reproduce              # simulated figures + native spot checks
+//	reproduce -skip-native # simulation only (fast, deterministic)
+//	reproduce -full        # include the large Figure 2/3 sim sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"tscds"
+	"tscds/internal/bench"
+	"tscds/internal/sim"
+)
+
+func main() {
+	skipNative := flag.Bool("skip-native", false, "skip native measurements")
+	full := flag.Bool("full", false, "run every simulated panel (slower)")
+	nativeDuration := flag.Duration("native-duration", 300*time.Millisecond, "native per-trial duration")
+	nativeKeys := flag.Uint64("native-keyrange", 100_000, "native key range")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	m := sim.PaperMachine()
+	fmt.Fprintf(w, "=== Simulated reproduction (paper machine: %d NUMA zones x %d cores x %d SMT) ===\n\n",
+		m.Zones, m.CoresPerZone, m.SMTPerCore)
+
+	fmt.Fprintln(w, "--- Figure 1: timestamp acquisition ---")
+	fig1 := sim.Figure1(m)
+	for _, p := range fig1 {
+		fmt.Fprintln(w, sim.FormatPanel(p))
+	}
+	reportFig1(w, fig1)
+
+	figs := []struct {
+		name  string
+		claim string
+		fn    func(*sim.Machine) []sim.Panel
+		large bool
+	}{
+		{"Figure 2: vCAS on lock-free BST", "up to 5.5x with TSC; equal at 100-0-0", sim.Figure2, true},
+		{"Figure 3: Citrus with vCAS and Bundling", "vCAS gains most; Bundling flat on read-only", sim.Figure3, true},
+		{"Figure 4: Citrus with EBR-RQ", "little/no gain; cliff past one NUMA zone", sim.Figure4, false},
+		{"Figure 5: Skip list with Bundling", "gain only in update-heavy mixes", sim.Figure5, false},
+		{"Omitted result: lazy list", "no gain; traversal-bound", sim.LazyListPanels, false},
+	}
+	for _, f := range figs {
+		fmt.Fprintf(w, "--- %s ---\npaper: %s\n", f.name, f.claim)
+		panels := f.fn(m)
+		for i, p := range panels {
+			if !*full && f.large && i > 2 {
+				fmt.Fprintf(w, "(… %d more panels; rerun with -full)\n", len(panels)-i)
+				break
+			}
+			fmt.Fprintln(w, sim.FormatPanel(p))
+			if s := sim.PanelSummary(p); s != "" {
+				fmt.Fprint(w, s)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *skipNative {
+		return
+	}
+	fmt.Fprintf(w, "=== Native spot checks (%d CPUs on this host) ===\n", runtime.NumCPU())
+	fmt.Fprintln(w, "Low core counts mute the contention the paper measures; these verify")
+	fmt.Fprintln(w, "the real implementations run and order sanely, not absolute shapes.")
+	fmt.Fprintln(w)
+	native(w, *nativeDuration, *nativeKeys)
+}
+
+func reportFig1(w io.Writer, panels []sim.Panel) {
+	for _, p := range panels {
+		var logical, rdtscp []float64
+		for _, s := range p.Series {
+			switch s.Name {
+			case "Logical":
+				logical = s.Mops
+			case "RDTSCP":
+				rdtscp = s.Mops
+			}
+		}
+		last := len(p.Threads) - 1
+		fmt.Fprintf(w, "  %s: RDTSCP/Logical at %d threads = %.1fx (at 1 thread: %.2fx)\n",
+			p.ID, p.Threads[last], rdtscp[last]/logical[last], rdtscp[0]/logical[0])
+	}
+	fmt.Fprintln(w)
+}
+
+func native(w io.Writer, d time.Duration, keyRange uint64) {
+	combos := []struct {
+		label string
+		s     tscds.Structure
+		t     tscds.Technique
+		wl    bench.Workload
+	}{
+		{"Fig2 vCAS/BST 10-10-80", tscds.BST, tscds.VCAS, bench.PaperWorkload(10, 10, 80)},
+		{"Fig3 vCAS/Citrus 10-10-80", tscds.Citrus, tscds.VCAS, bench.PaperWorkload(10, 10, 80)},
+		{"Fig3 Bundle/Citrus 10-10-80", tscds.Citrus, tscds.Bundle, bench.PaperWorkload(10, 10, 80)},
+		{"Fig4 EBR-RQ/Citrus 10-10-80", tscds.Citrus, tscds.EBRRQ, bench.PaperWorkload(10, 10, 80)},
+		{"Fig5 Bundle/SkipList 50-10-40", tscds.SkipList, tscds.Bundle, bench.PaperWorkload(50, 10, 40)},
+	}
+	threads := runtime.NumCPU()
+	fmt.Fprintf(w, "%-32s %14s %14s\n", "arm (threads="+itoa(threads)+")", "Logical", "RDTSCP")
+	for _, c := range combos {
+		wl := c.wl
+		wl.KeyRange = keyRange
+		var cells [2]string
+		for i, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+			mp, err := tscds.New(c.s, c.t, tscds.Config{Source: src, MaxThreads: 256})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := bench.Prefill(mp, mp, wl.KeyRange); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res, err := bench.Run(mp, mp, wl, bench.Options{
+				Threads: threads, Duration: d, Trials: 2, Pin: true, Seed: 11,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cells[i] = fmt.Sprintf("%9.2f Mops", res.Mean)
+		}
+		fmt.Fprintf(w, "%-32s %14s %14s\n", c.label, cells[0], cells[1])
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

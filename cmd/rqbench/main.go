@@ -1,0 +1,261 @@
+// Command rqbench regenerates the data-structure figures (2-5, plus the
+// lazy-list negative result) natively on this host or on the simulated
+// paper machine.
+//
+//	rqbench -fig 2 -mode sim
+//	rqbench -fig 3 -mode native -threads 1,2,4 -duration 500ms -trials 3
+//	rqbench -fig lazy -mode native -keyrange 2000
+//
+// Native mode follows the paper's setup: structures prefilled to half of
+// the key range (default 1,000,000), 100-key range queries, uniform
+// keys, mean of the trials reported in Mops/s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tscds"
+	"tscds/internal/bench"
+	"tscds/internal/sim"
+)
+
+type arm struct {
+	name string
+	s    tscds.Structure
+	t    tscds.Technique
+}
+
+type figure struct {
+	arms      []arm
+	workloads []bench.Workload
+	simFn     func(*sim.Machine) []sim.Panel
+}
+
+// figuresOverride is set by -custom.
+var figuresOverride *figure
+
+// customFigure parses "structure/technique" into a single-arm figure.
+func customFigure(spec string) (figure, error) {
+	structs := map[string]tscds.Structure{
+		"bst": tscds.BST, "nmbst": tscds.NMBST, "citrus": tscds.Citrus,
+		"skiplist": tscds.SkipList, "lazylist": tscds.LazyList,
+	}
+	techs := map[string]tscds.Technique{
+		"vcas": tscds.VCAS, "bundle": tscds.Bundle,
+		"ebrrq": tscds.EBRRQ, "ebrrq-lockfree": tscds.EBRRQLockFree,
+	}
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return figure{}, fmt.Errorf("custom arm %q: want structure/technique", spec)
+	}
+	st, ok1 := structs[parts[0]]
+	te, ok2 := techs[parts[1]]
+	if !ok1 || !ok2 {
+		return figure{}, fmt.Errorf("custom arm %q: unknown structure or technique", spec)
+	}
+	return figure{
+		arms:      []arm{{spec, st, te}},
+		workloads: []bench.Workload{bench.PaperWorkload(10, 10, 80)},
+	}, nil
+}
+
+func figures() map[string]figure {
+	return map[string]figure{
+		"2": {
+			arms: []arm{{"vCAS", tscds.BST, tscds.VCAS}},
+			workloads: []bench.Workload{
+				bench.PaperWorkload(0, 10, 90), bench.PaperWorkload(2, 10, 88),
+				bench.PaperWorkload(10, 10, 80), bench.PaperWorkload(20, 10, 70),
+				bench.PaperWorkload(0, 20, 80), bench.PaperWorkload(2, 20, 78),
+				bench.PaperWorkload(10, 20, 70), bench.PaperWorkload(20, 20, 60),
+				bench.PaperWorkload(50, 10, 40), bench.PaperWorkload(100, 0, 0),
+			},
+			simFn: sim.Figure2,
+		},
+		"3": {
+			arms: []arm{
+				{"vCAS", tscds.Citrus, tscds.VCAS},
+				{"Bundle", tscds.Citrus, tscds.Bundle},
+			},
+			workloads: []bench.Workload{
+				bench.PaperWorkload(0, 10, 90), bench.PaperWorkload(2, 10, 88),
+				bench.PaperWorkload(10, 10, 80), bench.PaperWorkload(20, 10, 70),
+				bench.PaperWorkload(50, 10, 40), bench.PaperWorkload(90, 10, 0),
+			},
+			simFn: sim.Figure3,
+		},
+		"4": {
+			arms: []arm{{"EBR-RQ", tscds.Citrus, tscds.EBRRQ}},
+			workloads: []bench.Workload{
+				bench.PaperWorkload(2, 10, 88), bench.PaperWorkload(10, 10, 80),
+				bench.PaperWorkload(20, 10, 70), bench.PaperWorkload(50, 10, 40),
+				bench.PaperWorkload(90, 10, 0), bench.PaperWorkload(100, 0, 0),
+			},
+			simFn: sim.Figure4,
+		},
+		"5": {
+			arms: []arm{{"Bundle", tscds.SkipList, tscds.Bundle}},
+			workloads: []bench.Workload{
+				bench.PaperWorkload(10, 10, 80), bench.PaperWorkload(50, 10, 40),
+				bench.PaperWorkload(90, 10, 0),
+			},
+			simFn: sim.Figure5,
+		},
+		"lazy": {
+			arms: []arm{
+				{"vCAS", tscds.LazyList, tscds.VCAS},
+				{"Bundle", tscds.LazyList, tscds.Bundle},
+			},
+			workloads: []bench.Workload{{U: 10, RQ: 10, C: 80, KeyRange: 2000, RQLen: 100}},
+			simFn:     sim.LazyListPanels,
+		},
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy")
+	mode := flag.String("mode", "native", "native or sim")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
+	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
+	trials := flag.Int("trials", 3, "trials per point (native)")
+	keyRange := flag.Uint64("keyrange", 1_000_000, "key range (native; figures 2-5)")
+	zipf := flag.Float64("zipf", 0, "Zipfian key skew s (0 = paper's uniform; extension)")
+	format := flag.String("format", "table", "sim output: table, csv, or chart")
+	latency := flag.Bool("latency", false, "native: report per-class latency percentiles instead of throughput")
+	timeline := flag.Bool("timeline", false, "native: report per-interval throughput and GC activity")
+	custom := flag.String("custom", "", "run one custom arm instead of a figure, e.g. skiplist/vcas or citrus/bundle")
+	flag.Parse()
+
+	if *custom != "" {
+		f2, err := customFigure(*custom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		figuresOverride = &f2
+	}
+
+	var f figure
+	if figuresOverride != nil {
+		f = *figuresOverride
+	} else {
+		var ok bool
+		f, ok = figures()[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(1)
+		}
+	}
+
+	if *mode == "sim" {
+		if f.simFn == nil {
+			fmt.Fprintln(os.Stderr, "custom arms run natively only")
+			os.Exit(1)
+		}
+		for _, p := range f.simFn(sim.PaperMachine()) {
+			switch *format {
+			case "csv":
+				fmt.Print(sim.FormatCSV(p))
+			case "chart":
+				fmt.Println(sim.FormatChart(p, 16))
+			default:
+				fmt.Println(sim.FormatPanel(p))
+				if s := sim.PanelSummary(p); s != "" {
+					fmt.Print(s, "\n")
+				}
+			}
+		}
+		return
+	}
+
+	threads, err := bench.ParseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, wl := range f.workloads {
+		if wl.KeyRange == 1_000_000 {
+			wl.KeyRange = *keyRange
+		}
+		wl.ZipfS = *zipf
+		if *timeline {
+			for _, a := range f.arms {
+				for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+					m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					tl, err := bench.RunTimeline(m, m, wl, threads[len(threads)-1], *duration, *duration/10, 7)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%s/%v, workload %s, timeline:\n%s\n", a.name, src, wl.Label(), tl)
+				}
+			}
+			continue
+		}
+		if *latency {
+			for _, a := range f.arms {
+				for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+					m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					res, err := bench.MeasureLatency(m, m, wl, *duration, 7)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%s/%v, workload %s, latency over %v:\n%s\n", a.name, src, wl.Label(), *duration, res)
+				}
+			}
+			continue
+		}
+		series := map[string][]bench.Result{}
+		for _, a := range f.arms {
+			for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+				name := a.name
+				if src == tscds.TSC {
+					name += "-RDTSCP"
+				}
+				m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				for _, n := range threads {
+					res, err := bench.Run(m, m, wl, bench.Options{
+						Threads: n, Duration: *duration, Trials: *trials, Pin: true, Seed: 7,
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					series[name] = append(series[name], res)
+				}
+			}
+		}
+		fmt.Println(bench.Table(
+			fmt.Sprintf("Figure %s, workload %s, native (%d trials x %v)", *fig, wl.Label(), *trials, *duration),
+			threads, series))
+	}
+}

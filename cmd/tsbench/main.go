@@ -1,0 +1,121 @@
+// Command tsbench regenerates Figure 1: the throughput of acquiring
+// timestamps from a logical counter versus the hardware counter, across
+// thread counts, with and without interleaved local work.
+//
+// Modes:
+//
+//	-mode native   measure on this host (thread counts capped by CPUs)
+//	-mode sim      regenerate the paper machine's curves (4x24x2 Xeon)
+//
+// Example:
+//
+//	tsbench -mode native -threads 1,2,4 -duration 200ms
+//	tsbench -mode sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tscds/internal/affinity"
+	"tscds/internal/bench"
+	"tscds/internal/core"
+	"tscds/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "native", "native or sim")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native; default 1..NumCPU)")
+	duration := flag.Duration("duration", 300*time.Millisecond, "per-point duration (native)")
+	flag.Parse()
+
+	switch *mode {
+	case "sim":
+		for _, p := range sim.Figure1(sim.PaperMachine()) {
+			fmt.Println(sim.FormatPanel(p))
+		}
+	case "native":
+		threads, err := bench.ParseThreads(*threadsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runNative(threads, *duration)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+func runNative(threads []int, d time.Duration) {
+	kinds := []core.Kind{core.Logical, core.TSC, core.TSCCPUID, core.TSCUnfenced, core.TSCRaw}
+	for _, panel := range []struct {
+		name string
+		work bool
+	}{{"top: bare acquisition", false}, {"bottom: acquisition + local work", true}} {
+		fmt.Printf("Figure 1 (%s), native, %v/point\n", panel.name, d)
+		fmt.Printf("%8s", "threads")
+		for _, k := range kinds {
+			fmt.Printf(" %16s", k)
+		}
+		fmt.Println()
+		for _, n := range threads {
+			fmt.Printf("%8d", n)
+			for _, k := range kinds {
+				mops := measure(core.New(k), n, d, panel.work)
+				fmt.Printf(" %11.2f Mops", mops)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func measure(src core.Source, threads int, d time.Duration, work bool) float64 {
+	var stop core.PaddedBool
+	counts := make([]struct {
+		n int64
+		_ [56]byte
+	}, threads)
+	pinner := affinity.NewPinner()
+	var ready, done sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < threads; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			unpin := pinner.Pin(i)
+			defer unpin()
+			ready.Done()
+			start.Wait()
+			sink := uint64(0)
+			for !stop.Load() {
+				sink += src.Advance()
+				if work {
+					for j := 0; j < 100; j++ {
+						sink = sink*2862933555777941757 + 3037000493
+					}
+				}
+				counts[i].n++
+			}
+			_ = sink
+		}(i)
+	}
+	ready.Wait()
+	begin := time.Now()
+	start.Done()
+	time.Sleep(d)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin).Seconds()
+	var total int64
+	for i := range counts {
+		total += counts[i].n
+	}
+	return float64(total) / elapsed / 1e6
+}

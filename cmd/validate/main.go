@@ -1,0 +1,274 @@
+// Command validate stress-checks the linearizability of range queries
+// for every (structure, technique, source) combination using three
+// order-theoretic probes:
+//
+//	prefix   one writer inserts ascending keys; every snapshot must be a
+//	         prefix of the insertion order
+//	suffix   one writer deletes ascending keys from a full map; every
+//	         snapshot must be a suffix
+//	stripe   random churn on odd keys; even keys must always appear
+//	         exactly once, with no duplicates anywhere
+//
+// Any torn snapshot — a range query mixing two points in time — fails a
+// probe. Exit status is nonzero on failure.
+//
+//	validate -duration 2s              # all combinations
+//	validate -combo skiplist/vcas      # one combination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tscds"
+)
+
+type combo struct {
+	name string
+	s    tscds.Structure
+	t    tscds.Technique
+}
+
+func combos() []combo {
+	return []combo{
+		{"bst/vcas", tscds.BST, tscds.VCAS},
+		{"nmbst/vcas", tscds.NMBST, tscds.VCAS},
+		{"bst/ebrrq", tscds.BST, tscds.EBRRQ},
+		{"bst/ebrrq-lockfree", tscds.BST, tscds.EBRRQLockFree},
+		{"citrus/vcas", tscds.Citrus, tscds.VCAS},
+		{"citrus/bundle", tscds.Citrus, tscds.Bundle},
+		{"citrus/ebrrq", tscds.Citrus, tscds.EBRRQ},
+		{"citrus/ebrrq-lockfree", tscds.Citrus, tscds.EBRRQLockFree},
+		{"skiplist/bundle", tscds.SkipList, tscds.Bundle},
+		{"skiplist/vcas", tscds.SkipList, tscds.VCAS},
+		{"skiplist/ebrrq", tscds.SkipList, tscds.EBRRQ},
+		{"lazylist/vcas", tscds.LazyList, tscds.VCAS},
+		{"lazylist/bundle", tscds.LazyList, tscds.Bundle},
+	}
+}
+
+func main() {
+	duration := flag.Duration("duration", 1*time.Second, "time per probe")
+	comboFlag := flag.String("combo", "", "restrict to one combination (e.g. citrus/bundle)")
+	keys := flag.Uint64("keys", 3000, "key-space size per probe")
+	flag.Parse()
+
+	failures := 0
+	for _, c := range combos() {
+		if *comboFlag != "" && c.name != *comboFlag {
+			continue
+		}
+		sources := []tscds.SourceKind{tscds.Logical, tscds.TSC}
+		if c.t == tscds.EBRRQLockFree {
+			sources = []tscds.SourceKind{tscds.Logical}
+		}
+		for _, src := range sources {
+			for _, probe := range []struct {
+				name string
+				fn   func(tscds.Map, uint64, time.Duration) error
+			}{{"prefix", prefixProbe}, {"suffix", suffixProbe}, {"stripe", stripeProbe}} {
+				m, err := tscds.New(c.s, c.t, tscds.Config{Source: src, MaxThreads: 64})
+				if err != nil {
+					fmt.Printf("FAIL %-24s %-8s %-7s construct: %v\n", c.name, src, probe.name, err)
+					failures++
+					continue
+				}
+				n := *keys
+				if c.s == tscds.LazyList && n > 800 {
+					n = 800 // O(n) traversals
+				}
+				if err := probe.fn(m, n, *duration); err != nil {
+					fmt.Printf("FAIL %-24s %-8s %-7s %v\n", c.name, src, probe.name, err)
+					failures++
+				} else {
+					fmt.Printf("ok   %-24s %-8s %-7s\n", c.name, src, probe.name)
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d probe(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(kvs []tscds.KV) []uint64 {
+	keys := make([]uint64, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// prefixProbe: ascending inserts; snapshots must be prefixes.
+func prefixProbe(m tscds.Map, n uint64, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if err := onePrefixRound(m, n); err != nil {
+			return err
+		}
+		// Clear for the next round.
+		th, _ := m.RegisterThread()
+		for k := uint64(1); k <= n; k++ {
+			m.Delete(th, k)
+		}
+		th.Release()
+	}
+	return nil
+}
+
+func onePrefixRound(m tscds.Map, n uint64) error {
+	var wg sync.WaitGroup
+	var fail atomic.Pointer[string]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th, _ := m.RegisterThread()
+		defer th.Release()
+		for k := uint64(1); k <= n; k++ {
+			m.Insert(th, k, k)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th, _ := m.RegisterThread()
+		defer th.Release()
+		for {
+			keys := sortedKeys(m.RangeQuery(th, 1, n, nil))
+			for i, k := range keys {
+				if k != uint64(i+1) {
+					msg := fmt.Sprintf("snapshot not a prefix: position %d holds %d", i, k)
+					fail.Store(&msg)
+					return
+				}
+			}
+			if uint64(len(keys)) == n {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		return fmt.Errorf("%s", *msg)
+	}
+	return nil
+}
+
+// suffixProbe: ascending deletes; snapshots must be suffixes.
+func suffixProbe(m tscds.Map, n uint64, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		th, _ := m.RegisterThread()
+		for k := uint64(1); k <= n; k++ {
+			m.Insert(th, k, k)
+		}
+		th.Release()
+		var wg sync.WaitGroup
+		var fail atomic.Pointer[string]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, _ := m.RegisterThread()
+			defer th.Release()
+			for k := uint64(1); k <= n; k++ {
+				m.Delete(th, k)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, _ := m.RegisterThread()
+			defer th.Release()
+			for {
+				keys := sortedKeys(m.RangeQuery(th, 1, n, nil))
+				if len(keys) == 0 {
+					return
+				}
+				for i, k := range keys {
+					if k != keys[0]+uint64(i) {
+						msg := fmt.Sprintf("snapshot not a suffix at %d: %d (first %d)", i, k, keys[0])
+						fail.Store(&msg)
+						return
+					}
+				}
+				if keys[len(keys)-1] != n {
+					msg := fmt.Sprintf("suffix missing tail: ends at %d", keys[len(keys)-1])
+					fail.Store(&msg)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		if msg := fail.Load(); msg != nil {
+			return fmt.Errorf("%s", *msg)
+		}
+	}
+	return nil
+}
+
+// stripeProbe: churn odd keys; even keys must stay complete and unique.
+func stripeProbe(m tscds.Map, n uint64, d time.Duration) error {
+	th0, _ := m.RegisterThread()
+	for k := uint64(1); k <= n; k++ {
+		m.Insert(th0, k, k)
+	}
+	th0.Release()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th, _ := m.RegisterThread()
+		defer th.Release()
+		r := uint64(0xDECAF)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			k := r%n + 1
+			if k%2 == 1 {
+				if m.Delete(th, k) {
+					m.Insert(th, k, k)
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	th, _ := m.RegisterThread()
+	defer th.Release()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		got := m.RangeQuery(th, 1, n, nil)
+		seen := map[uint64]bool{}
+		evens := 0
+		for _, kv := range got {
+			if seen[kv.Key] {
+				return fmt.Errorf("duplicate key %d in snapshot", kv.Key)
+			}
+			seen[kv.Key] = true
+			if kv.Key%2 == 0 {
+				evens++
+			}
+		}
+		if uint64(evens) != n/2 {
+			return fmt.Errorf("stable stripe incomplete: %d even keys, want %d", evens, n/2)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package tscds
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzMapAgainstModel feeds arbitrary operation tapes through every
+// (structure, technique) pair and a reference map simultaneously. Each
+// tape byte-pair is one operation: the first byte selects the op, the
+// second the key. Run with `go test -fuzz=FuzzMapAgainstModel` for
+// continuous exploration; without -fuzz the seed corpus still executes.
+func FuzzMapAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 3, 0})
+	f.Add([]byte{0, 5, 0, 6, 0, 7, 1, 6, 3, 4, 2, 7})
+	f.Add([]byte{})
+	seq := []byte{}
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i%4), byte(i*7))
+	}
+	f.Add(seq)
+
+	combos := allCombos()
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		for _, c := range combos {
+			m, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := m.RegisterThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[uint64]uint64{}
+			for i := 0; i+1 < len(tape); i += 2 {
+				op := tape[i] % 4
+				key := uint64(tape[i+1])
+				switch op {
+				case 0:
+					_, exists := model[key]
+					if got := m.Insert(th, key, key*3); got == exists {
+						t.Fatalf("%v/%v op %d: Insert(%d)=%v exists=%v", c.S, c.T, i, key, got, exists)
+					}
+					if !exists {
+						model[key] = key * 3
+					}
+				case 1:
+					_, exists := model[key]
+					if got := m.Delete(th, key); got != exists {
+						t.Fatalf("%v/%v op %d: Delete(%d)=%v exists=%v", c.S, c.T, i, key, got, exists)
+					}
+					delete(model, key)
+				case 2:
+					_, exists := model[key]
+					if got := m.Contains(th, key); got != exists {
+						t.Fatalf("%v/%v op %d: Contains(%d)=%v want %v", c.S, c.T, i, key, got, exists)
+					}
+				default:
+					lo := key
+					hi := lo + 16
+					got := m.RangeQuery(th, lo, hi, nil)
+					want := 0
+					for k := range model {
+						if k >= lo && k <= hi {
+							want++
+						}
+					}
+					if len(got) != want {
+						t.Fatalf("%v/%v op %d: range[%d,%d] = %d keys, want %d",
+							c.S, c.T, i, lo, hi, len(got), want)
+					}
+					for _, kv := range got {
+						if v, ok := model[kv.Key]; !ok || v != kv.Val {
+							t.Fatalf("%v/%v: range kv %v disagrees with model", c.S, c.T, kv)
+						}
+					}
+				}
+			}
+			// Final full-range agreement.
+			got := m.RangeQuery(th, 0, MaxKey, nil)
+			if len(got) != len(model) || m.Len() != len(model) {
+				t.Fatalf("%v/%v final: range=%d Len=%d model=%d", c.S, c.T, len(got), m.Len(), len(model))
+			}
+			th.Release()
+		}
+	})
+}
+
+// FuzzBatchStore checks the Jiffy-style store's batch semantics against
+// a model: a tape of batches (each up to 4 ops) applied to both.
+func FuzzBatchStore(f *testing.F) {
+	f.Add([]byte{1, 0, 5, 9, 2, 0, 5, 1, 1, 6, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 256 {
+			tape = tape[:256]
+		}
+		st, reg := NewBatchStore(Config{Source: Logical, MaxThreads: 2})
+		th, _ := reg.Register()
+		defer th.Release()
+		model := map[uint64]uint64{}
+		i := 0
+		for i < len(tape) {
+			n := int(tape[i]%4) + 1
+			i++
+			var ops []BatchOp
+			for j := 0; j < n && i+1 < len(tape); j++ {
+				key := uint64(tape[i]%32) + 1
+				val := uint64(tape[i+1])
+				i += 2
+				remove := val%5 == 0
+				ops = append(ops, BatchOp{Key: key, Val: val, Remove: remove})
+			}
+			st.Apply(th, ops)
+			for _, op := range ops { // batch order: last op per key wins
+				if op.Remove {
+					delete(model, op.Key)
+				} else {
+					model[op.Key] = op.Val
+				}
+			}
+			for k, v := range model {
+				got, ok := st.Get(th, k)
+				if !ok || got != v {
+					t.Fatalf("Get(%d) = (%d,%v), model %d after %s", k, got, ok, v, fmt.Sprint(ops))
+				}
+			}
+		}
+		if st.Len() != len(model) {
+			t.Fatalf("Len=%d model=%d", st.Len(), len(model))
+		}
+	})
+}

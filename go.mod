@@ -1,0 +1,3 @@
+module tscds
+
+go 1.22

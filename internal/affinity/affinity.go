@@ -1,0 +1,202 @@
+// Package affinity pins benchmark goroutines to CPUs and reproduces the
+// paper's pinning policy: saturate one NUMA zone before starting the
+// next, and within a zone place each pair of hyperthreads on their shared
+// physical core consecutively. Topology is read from /sys on Linux; on
+// other platforms (or restricted containers) pinning degrades to
+// runtime.LockOSThread only, which is reported rather than hidden.
+package affinity
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnsupported indicates the host cannot set CPU affinity.
+var ErrUnsupported = errors.New("affinity: not supported on this platform")
+
+// CPU describes one logical CPU.
+type CPU struct {
+	ID   int // logical CPU number
+	Core int // physical core id within the package
+	Node int // NUMA node
+}
+
+// Topology is the set of online logical CPUs.
+type Topology struct {
+	CPUs []CPU
+}
+
+// Nodes returns the distinct NUMA node ids in ascending order.
+func (t *Topology) Nodes() []int {
+	seen := map[int]bool{}
+	var nodes []int
+	for _, c := range t.CPUs {
+		if !seen[c.Node] {
+			seen[c.Node] = true
+			nodes = append(nodes, c.Node)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// Detect reads the host topology from /sys. When /sys is unavailable it
+// returns a flat topology: one node, one core per logical CPU — which
+// keeps the pin order well-defined everywhere.
+func Detect() *Topology { return DetectAt("/sys") }
+
+// DetectAt reads the topology from an alternative sysfs root (tests use
+// a synthetic tree).
+func DetectAt(sysRoot string) *Topology {
+	n := runtime.NumCPU()
+	online, err := parseCPUList(readSys(sysRoot + "/devices/system/cpu/online"))
+	if err != nil || len(online) == 0 {
+		online = make([]int, n)
+		for i := range online {
+			online[i] = i
+		}
+	}
+	t := &Topology{}
+	for _, id := range online {
+		base := fmt.Sprintf("%s/devices/system/cpu/cpu%d/topology/", sysRoot, id)
+		core := atoiDefault(readSys(base+"core_id"), id)
+		node := atoiDefault(readSys(base+"physical_package_id"), 0)
+		t.CPUs = append(t.CPUs, CPU{ID: id, Core: core, Node: node})
+	}
+	return t
+}
+
+// PaperTopology returns the topology of the paper's machine: four NUMA
+// zones, 24 physical cores per zone, two hyperthreads per core (192
+// logical CPUs). Used by the simulator and by tests of the pin policy.
+func PaperTopology() *Topology {
+	t := &Topology{}
+	id := 0
+	for node := 0; node < 4; node++ {
+		for core := 0; core < 24; core++ {
+			t.CPUs = append(t.CPUs, CPU{ID: id, Core: core, Node: node})
+			id++
+		}
+	}
+	// Second hyperthread of every core, in the same order.
+	for node := 0; node < 4; node++ {
+		for core := 0; core < 24; core++ {
+			t.CPUs = append(t.CPUs, CPU{ID: id, Core: core, Node: node})
+			id++
+		}
+	}
+	return t
+}
+
+// PinOrder returns logical CPU ids in the paper's pin order: fill a NUMA
+// zone completely (each core's hyperthreads consecutively) before moving
+// to the next zone.
+func PinOrder(t *Topology) []int {
+	type key struct{ node, core int }
+	groups := map[key][]int{}
+	for _, c := range t.CPUs {
+		k := key{c.Node, c.Core}
+		groups[k] = append(groups[k], c.ID)
+	}
+	var keys []key
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].core < keys[j].core
+	})
+	var order []int
+	for _, k := range keys {
+		ids := groups[k]
+		sort.Ints(ids)
+		order = append(order, ids...)
+	}
+	return order
+}
+
+// Pinner assigns worker indices to CPUs following the pin order and
+// applies the assignment to the calling goroutine's OS thread.
+type Pinner struct {
+	order []int
+	// Applied counts successful affinity calls; tests and the harness
+	// report whether pinning actually took effect.
+	Applied int
+	// LastErr holds the most recent pinning failure, if any.
+	LastErr error
+}
+
+// NewPinner builds a pinner over the detected host topology.
+func NewPinner() *Pinner { return &Pinner{order: PinOrder(Detect())} }
+
+// Pin locks the calling goroutine to an OS thread and binds that thread
+// to the CPU assigned to worker i. The caller must invoke the returned
+// function to unlock the thread when done. Pinning failures are recorded,
+// not fatal: the benchmark still runs, just unpinned.
+func (p *Pinner) Pin(i int) (unpin func()) {
+	runtime.LockOSThread()
+	cpu := p.order[i%len(p.order)]
+	if err := setAffinity(cpu); err != nil {
+		p.LastErr = err
+	} else {
+		p.Applied++
+	}
+	return runtime.UnlockOSThread
+}
+
+func readSys(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func atoiDefault(s string, def int) int {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// parseCPUList parses the kernel's cpulist format, e.g. "0-3,8,10-11".
+func parseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("empty cpu list")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, err
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, err
+			}
+			if b < a {
+				return nil, fmt.Errorf("invalid range %q", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

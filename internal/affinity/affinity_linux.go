@@ -1,0 +1,25 @@
+//go:build linux
+
+package affinity
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity binds the calling OS thread to a single CPU using the raw
+// sched_setaffinity syscall (tid 0 = calling thread). The mask is a
+// 1024-bit cpu_set_t, matching glibc's default CPU_SETSIZE.
+func setAffinity(cpu int) error {
+	var mask [16]uint64 // 1024 bits
+	if cpu < 0 || cpu >= len(mask)*64 {
+		return ErrUnsupported
+	}
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

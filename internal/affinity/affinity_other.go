@@ -1,0 +1,6 @@
+//go:build !linux
+
+package affinity
+
+// setAffinity is unavailable off Linux; Pin degrades to LockOSThread.
+func setAffinity(cpu int) error { return ErrUnsupported }

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tscds/internal/core"
+	"tscds/internal/lfbst"
+)
+
+type reg struct{ r *core.Registry }
+
+func (r reg) RegisterThread() (*core.Thread, error) { return r.r.Register() }
+
+func TestWorkloadValidation(t *testing.T) {
+	if !PaperWorkload(10, 10, 80).Valid() {
+		t.Fatal("paper workload invalid")
+	}
+	if (Workload{U: 50, RQ: 10, C: 10}).Valid() {
+		t.Fatal("60%% mix accepted")
+	}
+	if got := PaperWorkload(2, 10, 88).Label(); got != "2-10-88" {
+		t.Fatalf("label = %q", got)
+	}
+	if _, err := Run(nil, nil, Workload{U: 1, RQ: 1, C: 1}, Options{}); err == nil {
+		t.Fatal("invalid workload accepted by Run")
+	}
+}
+
+func TestPrefillHalf(t *testing.T) {
+	r := core.NewRegistry(4)
+	tr := lfbst.New(core.New(core.Logical), r)
+	if err := Prefill(tr, reg{r}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Len(); got != 500 {
+		t.Fatalf("prefill produced %d keys, want 500", got)
+	}
+}
+
+func TestRunMeasuresAllOpClasses(t *testing.T) {
+	r := core.NewRegistry(8)
+	tr := lfbst.New(core.New(core.TSC), r)
+	if err := Prefill(tr, reg{r}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	wl := Workload{U: 20, RQ: 20, C: 60, KeyRange: 10_000, RQLen: 50}
+	res, err := Run(tr, reg{r}, wl, Options{
+		Threads: 2, Duration: 60 * time.Millisecond, Trials: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean <= 0 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+	if len(res.Trials) != 2 {
+		t.Fatalf("trials = %v", res.Trials)
+	}
+	total := res.OpSplit[0] + res.OpSplit[1] + res.OpSplit[2]
+	if total == 0 {
+		t.Fatal("no ops recorded")
+	}
+	for i, name := range []string{"updates", "rqs", "contains"} {
+		if res.OpSplit[i] == 0 {
+			t.Fatalf("no %s executed", name)
+		}
+	}
+	// Mix roughly honored (within very loose bounds).
+	fu := float64(res.OpSplit[0]) / float64(total)
+	if fu < 0.1 || fu > 0.3 {
+		t.Fatalf("update fraction = %.2f, want ~0.2", fu)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	series := map[string][]Result{
+		"Logical": {{Mean: 1.5}, {Mean: 2.5}},
+		"RDTSCP":  {{Mean: 3.5}},
+	}
+	out := Table("Fig X", []int{1, 2}, series)
+	for _, want := range []string{"Fig X", "threads", "Logical", "RDTSCP", "1.50", "3.50", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZipfWorkloadSkewsKeys(t *testing.T) {
+	r := core.NewRegistry(4)
+	tr := lfbst.New(core.New(core.Logical), r)
+	wl := Workload{U: 0, RQ: 0, C: 100, KeyRange: 1000, ZipfS: 1.5}
+	res, err := Run(tr, reg{r}, wl, Options{Threads: 1, Duration: 30 * time.Millisecond, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpSplit[2] == 0 {
+		t.Fatal("no contains ops under zipf workload")
+	}
+	// Distribution check on the generator itself: low keys dominate.
+	zr := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(zr, 1.5, 1, 999)
+	low := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if z.Uint64() < 10 {
+			low++
+		}
+	}
+	if float64(low)/n < 0.5 {
+		t.Fatalf("zipf(1.5): only %.1f%% of keys below 10; expected heavy skew", 100*float64(low)/n)
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	got, err := ParseThreads("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
+		t.Fatalf("ParseThreads = %v, %v", got, err)
+	}
+	if _, err := ParseThreads("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := ParseThreads("x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	def, err := ParseThreads("")
+	if err != nil || len(def) == 0 || def[len(def)-1] != runtime.NumCPU() {
+		t.Fatalf("default ParseThreads = %v, %v", def, err)
+	}
+	for i := 1; i < len(def); i++ {
+		if def[i] <= def[i-1] {
+			t.Fatalf("default thread list not increasing: %v", def)
+		}
+	}
+}
+
+func TestMeasureLatency(t *testing.T) {
+	r := core.NewRegistry(4)
+	tr := lfbst.New(core.New(core.TSC), r)
+	if err := Prefill(tr, reg{r}, 5000); err != nil {
+		t.Fatal(err)
+	}
+	wl := Workload{U: 30, RQ: 20, C: 50, KeyRange: 5000, RQLen: 50}
+	res, err := MeasureLatency(tr, reg{r}, wl, 60*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range res.Classes {
+		if s.Count == 0 {
+			t.Fatalf("class %d collected no samples", c)
+		}
+		if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("class %d percentiles not ordered: %+v", c, s)
+		}
+		if s.Mean <= 0 {
+			t.Fatalf("class %d mean %v", c, s.Mean)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"update", "range-query", "contains", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("latency table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := MeasureLatency(tr, reg{r}, Workload{U: 1}, time.Millisecond, 1); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := summarize(nil); s.Count != 0 {
+		t.Fatal("empty summarize nonzero")
+	}
+	s := summarize([]time.Duration{5 * time.Millisecond})
+	if s.P50 != 5*time.Millisecond || s.Max != 5*time.Millisecond || s.Count != 1 {
+		t.Fatalf("singleton summarize: %+v", s)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	r := core.NewRegistry(8)
+	tr := lfbst.New(core.New(core.TSC), r)
+	if err := Prefill(tr, reg{r}, 5000); err != nil {
+		t.Fatal(err)
+	}
+	wl := Workload{U: 20, RQ: 10, C: 70, KeyRange: 5000, RQLen: 50}
+	tl, err := RunTimeline(tr, reg{r}, wl, 2, 250*time.Millisecond, 50*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Samples) < 4 {
+		t.Fatalf("samples = %v", tl.Samples)
+	}
+	min, mean, max := tl.Stability()
+	if mean <= 0 || min > mean || mean > max {
+		t.Fatalf("stability stats inconsistent: %v %v %v", min, mean, max)
+	}
+	out := tl.String()
+	for _, want := range []string{"min/mean/max", "GC cycles", "t+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RunTimeline(tr, reg{r}, Workload{U: 5}, 1, time.Millisecond, time.Millisecond, 1); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tscds/internal/core"
+)
+
+// LatencyResult holds per-operation-class latency percentiles from a
+// sampling run (an extension beyond the paper's throughput-only
+// reporting — latency is where coarse timestamp labeling hurts even when
+// throughput looks flat).
+type LatencyResult struct {
+	// Classes indexes: 0 updates, 1 range queries, 2 contains.
+	Classes [3]LatencyStats
+}
+
+// LatencyStats summarizes one operation class.
+type LatencyStats struct {
+	Count            int
+	P50, P95, P99    time.Duration
+	Max              time.Duration
+	Mean             time.Duration
+	samplesCollected []time.Duration
+}
+
+// classNames labels LatencyResult.Classes.
+var classNames = [3]string{"update", "range-query", "contains"}
+
+// MeasureLatency runs the workload on a single sampling thread for the
+// given duration (other threads can be driven separately to create
+// contention) and returns latency percentiles per class.
+func MeasureLatency(target Target, reg Registrar, wl Workload, duration time.Duration, seed uint64) (LatencyResult, error) {
+	if !wl.Valid() {
+		return LatencyResult{}, fmt.Errorf("bench: workload %s does not sum to 100", wl.Label())
+	}
+	th, err := reg.RegisterThread()
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	defer th.Release()
+	r := rng{s: seed + 1}
+	buf := make([]core.KV, 0, wl.RQLen+16)
+	var samples [3][]time.Duration
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		x := r.next()
+		op := int(x % 100)
+		key := (x >> 8) % wl.KeyRange
+		var class int
+		begin := time.Now()
+		switch {
+		case op < wl.U:
+			if x&(1<<63) != 0 {
+				target.Insert(th, key, key)
+			} else {
+				target.Delete(th, key)
+			}
+			class = 0
+		case op < wl.U+wl.RQ:
+			buf = target.RangeQuery(th, key, key+wl.RQLen-1, buf[:0])
+			class = 1
+		default:
+			target.Contains(th, key)
+			class = 2
+		}
+		samples[class] = append(samples[class], time.Since(begin))
+	}
+	var res LatencyResult
+	for c := range samples {
+		res.Classes[c] = summarize(samples[c])
+	}
+	return res, nil
+}
+
+func summarize(xs []time.Duration) LatencyStats {
+	if len(xs) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(xs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(xs) {
+			idx = len(xs) - 1
+		}
+		return xs[idx]
+	}
+	return LatencyStats{
+		Count: len(xs),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   xs[len(xs)-1],
+		Mean:  sum / time.Duration(len(xs)),
+	}
+}
+
+// String renders the result as an aligned table.
+func (r LatencyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %10s %10s %10s\n",
+		"class", "count", "mean", "p50", "p95", "p99", "max")
+	for c, s := range r.Classes {
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %8d %10s %10s %10s %10s %10s\n",
+			classNames[c], s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+	}
+	return b.String()
+}

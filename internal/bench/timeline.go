@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tscds/internal/core"
+)
+
+// Timeline is a per-interval throughput trace. Its purpose is Go-specific
+// due diligence for this reproduction: the runtime's GC can dent
+// fine-grained concurrent throughput in ways the paper's C++ baselines
+// never see, and a flat average hides it. Sample dips correlated with
+// GC cycles quantify the effect.
+type Timeline struct {
+	Interval time.Duration
+	// Mops per interval, in order.
+	Samples []float64
+	// GCCycles is the number of collections during the run.
+	GCCycles uint32
+	// GCPauseTotal is the cumulative stop-the-world pause.
+	GCPauseTotal time.Duration
+}
+
+// Stability returns min/mean/max over the samples (ignoring the first,
+// which includes warmup).
+func (tl Timeline) Stability() (min, mean, max float64) {
+	xs := tl.Samples
+	if len(xs) > 1 {
+		xs = xs[1:]
+	}
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		mean += x
+	}
+	mean /= float64(len(xs))
+	return min, mean, max
+}
+
+// String renders the timeline as a compact sparkline-style table.
+func (tl Timeline) String() string {
+	var b strings.Builder
+	min, mean, max := tl.Stability()
+	fmt.Fprintf(&b, "interval=%v samples=%d min/mean/max = %.2f/%.2f/%.2f Mops, GC cycles=%d pause=%v\n",
+		tl.Interval, len(tl.Samples), min, mean, max, tl.GCCycles, tl.GCPauseTotal)
+	for i, s := range tl.Samples {
+		fmt.Fprintf(&b, "  t+%4dms %8.2f Mops\n", int(tl.Interval.Milliseconds())*i, s)
+	}
+	return b.String()
+}
+
+// RunTimeline drives the workload like Run but records throughput per
+// interval along with GC activity.
+func RunTimeline(target Target, reg Registrar, wl Workload, threads int,
+	duration, interval time.Duration, seed uint64) (Timeline, error) {
+
+	if !wl.Valid() {
+		return Timeline{}, fmt.Errorf("bench: workload %s does not sum to 100", wl.Label())
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	counters := make([]core.PaddedUint64, threads)
+	var stop core.PaddedBool
+	var ready, done sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	ths := make([]*core.Thread, threads)
+	for i := range ths {
+		th, err := reg.RegisterThread()
+		if err != nil {
+			return Timeline{}, err
+		}
+		ths[i] = th
+	}
+	for i := 0; i < threads; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			th := ths[i]
+			r := rng{s: seed + uint64(i)*0x9E3779B97F4A7C15 + 1}
+			buf := make([]core.KV, 0, wl.RQLen+16)
+			ready.Done()
+			start.Wait()
+			for !stop.Load() {
+				x := r.next()
+				op := int(x % 100)
+				key := (x >> 8) % wl.KeyRange
+				switch {
+				case op < wl.U:
+					if x&(1<<63) != 0 {
+						target.Insert(th, key, key)
+					} else {
+						target.Delete(th, key)
+					}
+				case op < wl.U+wl.RQ:
+					buf = target.RangeQuery(th, key, key+wl.RQLen-1, buf[:0])
+				default:
+					target.Contains(th, key)
+				}
+				counters[i].Add(1)
+			}
+		}(i)
+	}
+	ready.Wait()
+	start.Done()
+
+	tl := Timeline{Interval: interval}
+	prev := int64(0)
+	steps := int(duration / interval)
+	if steps < 1 {
+		steps = 1
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for s := 0; s < steps; s++ {
+		<-tick.C
+		var total int64
+		for i := range counters {
+			total += int64(counters[i].Load())
+		}
+		tl.Samples = append(tl.Samples, float64(total-prev)/interval.Seconds()/1e6)
+		prev = total
+	}
+	stop.Store(true)
+	done.Wait()
+	for _, th := range ths {
+		th.Release()
+	}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	tl.GCCycles = memAfter.NumGC - memBefore.NumGC
+	tl.GCPauseTotal = time.Duration(memAfter.PauseTotalNs - memBefore.PauseTotalNs)
+	return tl, nil
+}

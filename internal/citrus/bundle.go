@@ -1,0 +1,279 @@
+package citrus
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tscds/internal/bundle"
+	"tscds/internal/core"
+	"tscds/internal/rcu"
+)
+
+// bnode is a Citrus node whose child links each carry a bundle: the raw
+// pointer serves searches and updates, the bundle serves snapshot
+// traversals. Both change together under the node's lock.
+type bnode struct {
+	key, val uint64
+	mu       sync.Mutex
+	marked   bool
+	child    [2]atomic.Pointer[bnode]
+	bnd      [2]bundle.Bundle[bnode]
+}
+
+func newBnode(key, val uint64) *bnode {
+	n := &bnode{key: key, val: val}
+	n.bnd[0].Init(nil)
+	n.bnd[1].Init(nil)
+	return n
+}
+
+// setChild updates a link and records the change in its bundle, labeled
+// with one Source.Advance — with a logical source this is the
+// fetch-and-add each update pays; with TSC it is a core-local read, the
+// difference Figure 3's Bundle vs Bundle-RDTSCP series measures.
+func (t *BundleTree) setChild(n *bnode, dir int, target *bnode) {
+	e := n.bnd[dir].Prepare(target)
+	n.child[dir].Store(target)
+	n.bnd[dir].Finalize(e, t.src.Advance())
+}
+
+// BundleTree is the Citrus tree augmented with bundled references.
+type BundleTree struct {
+	src  core.Source
+	reg  *core.Registry
+	rcu  *rcu.RCU
+	root *bnode
+}
+
+// NewBundle builds an empty tree over the given source and registry.
+func NewBundle(src core.Source, reg *core.Registry) *BundleTree {
+	return &BundleTree{
+		src:  src,
+		reg:  reg,
+		rcu:  rcu.New(reg.Cap()),
+		root: newBnode(sentinelKey, 0),
+	}
+}
+
+// Source returns the tree's timestamp source.
+func (t *BundleTree) Source() core.Source { return t.src }
+
+func (t *BundleTree) traverse(tid int, key uint64) (prev, curr *bnode) {
+	t.rcu.ReadLock(tid)
+	prev = t.root
+	curr = prev.child[dirOf(key, prev.key)].Load()
+	for curr != nil && curr.key != key {
+		prev = curr
+		curr = curr.child[dirOf(key, curr.key)].Load()
+	}
+	t.rcu.ReadUnlock(tid)
+	return prev, curr
+}
+
+// Contains reports whether key is present.
+func (t *BundleTree) Contains(th *core.Thread, key uint64) bool {
+	_, curr := t.traverse(th.ID, key)
+	return curr != nil
+}
+
+// Get returns the value stored at key.
+func (t *BundleTree) Get(th *core.Thread, key uint64) (uint64, bool) {
+	_, curr := t.traverse(th.ID, key)
+	if curr == nil {
+		return 0, false
+	}
+	return curr.val, true
+}
+
+func (t *BundleTree) validateLink(prev *bnode, dir int, curr *bnode) bool {
+	return !prev.marked && prev.child[dir].Load() == curr
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *BundleTree) Insert(th *core.Thread, key, val uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr != nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		if !t.validateLink(prev, dir, nil) {
+			prev.mu.Unlock()
+			continue
+		}
+		t.setChild(prev, dir, newBnode(key, val))
+		t.maybeTruncate(prev, key)
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr == nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		curr.mu.Lock()
+		if curr.marked || !t.validateLink(prev, dir, curr) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+		left := curr.child[0].Load()
+		right := curr.child[1].Load()
+		if left == nil || right == nil {
+			repl := left
+			if repl == nil {
+				repl = right
+			}
+			curr.marked = true
+			t.setChild(prev, dir, repl)
+			t.maybeTruncate(prev, key)
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		if t.deleteTwoChildren(prev, dir, curr, left, right) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+	}
+}
+
+func (t *BundleTree) deleteTwoChildren(prev *bnode, dir int, curr, left, right *bnode) bool {
+	succPrev := curr
+	succ := right
+	for {
+		next := succ.child[0].Load()
+		if next == nil {
+			break
+		}
+		succPrev = succ
+		succ = next
+	}
+	if succPrev != curr {
+		succPrev.mu.Lock()
+	}
+	succ.mu.Lock()
+	valid := !succ.marked && !succPrev.marked && succ.child[0].Load() == nil
+	if succPrev == curr {
+		valid = valid && succPrev.child[1].Load() == succ
+	} else {
+		valid = valid && succPrev.child[0].Load() == succ
+	}
+	if !valid {
+		succ.mu.Unlock()
+		if succPrev != curr {
+			succPrev.mu.Unlock()
+		}
+		return false
+	}
+
+	n := newBnode(succ.key, succ.val)
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	n.bnd[0].Init(left)
+	n.bnd[1].Init(right)
+	n.mu.Lock()
+
+	curr.marked = true
+	t.setChild(prev, dir, n) // key removed; successor's key duplicated until unlink
+
+	t.rcu.Synchronize()
+
+	succ.marked = true
+	succRight := succ.child[1].Load()
+	if succPrev == curr {
+		t.setChild(n, 1, succRight)
+	} else {
+		t.setChild(succPrev, 0, succRight)
+	}
+	t.maybeTruncate(prev, succ.key)
+
+	n.mu.Unlock()
+	succ.mu.Unlock()
+	if succPrev != curr {
+		succPrev.mu.Unlock()
+	}
+	return true
+}
+
+func (t *BundleTree) maybeTruncate(n *bnode, key uint64) {
+	if key%64 != 0 {
+		return
+	}
+	min := t.reg.MinActiveRQ()
+	n.bnd[0].Truncate(min)
+	n.bnd[1].Truncate(min)
+}
+
+// RangeQuery appends every pair with lo <= key <= hi as of one
+// linearizable snapshot. Bundling's range queries only READ the
+// timestamp (updates advance it), so with a logical source a read-only
+// workload shows no benefit from TSC — Figure 3a's flat pair of Bundle
+// curves — while update-heavy mixes do.
+func (t *BundleTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	s := t.src.Peek()
+	th.AnnounceRQ(s)
+	base := len(out)
+	out = t.collect(t.childAt(t.root, 0, s), lo, hi, s, base, out)
+	th.DoneRQ()
+	return out
+}
+
+func (t *BundleTree) childAt(n *bnode, dir int, s core.TS) *bnode {
+	c, _ := n.bnd[dir].PtrAt(s)
+	return c
+}
+
+func (t *BundleTree) collect(n *bnode, lo, hi uint64, s core.TS, base int, out []core.KV) []core.KV {
+	if n == nil {
+		return out
+	}
+	if lo < n.key {
+		out = t.collect(t.childAt(n, 0, s), lo, hi, s, base, out)
+	}
+	if n.key >= lo && n.key <= hi {
+		if len(out) == base || out[len(out)-1].Key != n.key {
+			out = append(out, core.KV{Key: n.key, Val: n.val})
+		}
+	}
+	if hi > n.key {
+		out = t.collect(t.childAt(n, 1, s), lo, hi, s, base, out)
+	}
+	return out
+}
+
+// Len counts present keys; quiescent use only (tests).
+func (t *BundleTree) Len() int {
+	n := 0
+	var walk func(*bnode)
+	walk = func(x *bnode) {
+		if x == nil {
+			return
+		}
+		n++
+		walk(x.child[0].Load())
+		walk(x.child[1].Load())
+	}
+	walk(t.root.child[0].Load())
+	return n
+}

@@ -1,0 +1,48 @@
+// Package citrus implements the Citrus tree of Arbel and Attiya
+// ("Concurrent updates with RCU: search tree as an example", PODC 2014):
+// an internal binary search tree with per-node locks whose searches run
+// lock-free inside RCU read-side sections. Deleting a node with two
+// children replaces it with a locked copy of its successor, waits out an
+// RCU grace period so in-flight searches keep their path, and only then
+// unlinks the successor.
+//
+// The package provides the three range-query augmentations the paper
+// evaluates on Citrus (Figures 3 and 4):
+//
+//	VcasTree   — child pointers are vCAS objects (range queries advance
+//	             the timestamp; updates label versions).
+//	BundleTree — each child link carries a bundle (updates advance the
+//	             timestamp; range queries only read it).
+//	EBRTree    — nodes carry insertion/deletion labels assigned under
+//	             EBR-RQ's global readers-writer lock (or DCSS), and
+//	             range queries additionally scan the EBR limbo lists.
+//
+// Two-child deletion briefly exposes the successor's key both at its old
+// node and at the replacement copy; snapshot traversals deduplicate by
+// key, which is sound because keys are unique in the abstract state.
+//
+// A note on elemental-vs-bulk linearization in the Bundle variant:
+// contains consults the raw pointers while range queries consult bundle
+// labels, and the two are fixed a few instructions apart inside the
+// update's critical section. A contains that observes the raw write in
+// that window orders against concurrent range queries with the usual
+// in-flight-operation freedom; vCAS avoids even that window because its
+// reads label versions before returning (the property §IV credits to
+// helping), which is one more reason the paper finds vCAS the cleanest
+// fit for hardware timestamps.
+package citrus
+
+// Keys are uint64 with the top value reserved for the root sentinel.
+const (
+	sentinelKey = ^uint64(0)
+	// MaxKey is the largest insertable key.
+	MaxKey = ^uint64(0) - 1
+)
+
+// dirOf returns which child of a node with key nodeKey leads to key.
+func dirOf(key, nodeKey uint64) int {
+	if key < nodeKey {
+		return 0
+	}
+	return 1
+}

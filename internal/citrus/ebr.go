@@ -1,0 +1,311 @@
+package citrus
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tscds/internal/core"
+	"tscds/internal/ebrrq"
+	"tscds/internal/epoch"
+	"tscds/internal/rcu"
+)
+
+// enode is a Citrus node carrying EBR-RQ insertion/deletion labels.
+type enode struct {
+	key, val     uint64
+	mu           sync.Mutex
+	marked       bool
+	child        [2]atomic.Pointer[enode]
+	itime, dtime ebrrq.Label
+}
+
+func newEnode(key, val uint64) *enode {
+	n := &enode{key: key, val: val}
+	n.itime.Init()
+	n.dtime.Init()
+	return n
+}
+
+// EBRTree is the Citrus tree augmented with EBR-RQ (Figure 4). Every
+// label assignment goes through the ebrrq.Provider: in the lock-based
+// variant updates share-lock the global readers-writer lock around
+// (read timestamp, write label) while range queries take it exclusively
+// — the coarse-grained labeling that, per §IV, caps what TSC can
+// deliver. Deleted nodes are retired to EBR limbo lists *before* being
+// unlinked, so a range query always finds a deleted-after-its-snapshot
+// node either in the tree or in limbo.
+type EBRTree struct {
+	src      core.Source
+	provider *ebrrq.Provider
+	reg      *core.Registry
+	rcu      *rcu.RCU
+	em       *epoch.Manager[*enode]
+	root     *enode
+}
+
+// NewEBR builds an empty tree. variant selects lock-based or lock-free
+// labeling; the lock-free variant requires an addressable (logical)
+// source and otherwise returns ebrrq.ErrRequiresAddress — the paper's
+// "TSC cannot be used at all here" case.
+func NewEBR(src core.Source, reg *core.Registry, variant ebrrq.Variant) (*EBRTree, error) {
+	var provider *ebrrq.Provider
+	if variant == ebrrq.LockFree {
+		p, err := ebrrq.NewLockFree(src)
+		if err != nil {
+			return nil, err
+		}
+		provider = p
+	} else {
+		provider = ebrrq.NewLockBased(src)
+	}
+	t := &EBRTree{
+		src:      src,
+		provider: provider,
+		reg:      reg,
+		rcu:      rcu.New(reg.Cap()),
+		root:     newEnode(sentinelKey, 0),
+	}
+	t.em = epoch.NewManager[*enode](reg.Cap(),
+		func(n *enode, min core.TS) bool { return n.dtime.Get() >= min },
+		reg.MinActiveRQ)
+	return t, nil
+}
+
+// Source returns the tree's timestamp source.
+func (t *EBRTree) Source() core.Source { return t.src }
+
+// Provider exposes the timestamp provider (tests).
+func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }
+
+// LimboLen reports retained limbo nodes (tests).
+func (t *EBRTree) LimboLen() int { return t.em.LimboLen() }
+
+func (t *EBRTree) traverse(tid int, key uint64) (prev, curr *enode) {
+	t.rcu.ReadLock(tid)
+	prev = t.root
+	curr = prev.child[dirOf(key, prev.key)].Load()
+	for curr != nil && curr.key != key {
+		prev = curr
+		curr = curr.child[dirOf(key, curr.key)].Load()
+	}
+	t.rcu.ReadUnlock(tid)
+	return prev, curr
+}
+
+// Contains reports whether key is present.
+func (t *EBRTree) Contains(th *core.Thread, key uint64) bool {
+	t.em.Pin(th.ID)
+	_, curr := t.traverse(th.ID, key)
+	t.em.Unpin(th.ID)
+	return curr != nil
+}
+
+// Get returns the value stored at key.
+func (t *EBRTree) Get(th *core.Thread, key uint64) (uint64, bool) {
+	t.em.Pin(th.ID)
+	_, curr := t.traverse(th.ID, key)
+	t.em.Unpin(th.ID)
+	if curr == nil {
+		return 0, false
+	}
+	return curr.val, true
+}
+
+func validateELink(prev *enode, dir int, curr *enode) bool {
+	return !prev.marked && prev.child[dir].Load() == curr
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	t.em.Pin(th.ID)
+	defer t.em.Unpin(th.ID)
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr != nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		if !validateELink(prev, dir, nil) {
+			prev.mu.Unlock()
+			continue
+		}
+		n := newEnode(key, val)
+		prev.child[dir].Store(n)
+		t.provider.Label(&n.itime) // linearization: (read ts, label) atomic
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	t.em.Pin(th.ID)
+	defer t.em.Unpin(th.ID)
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr == nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		curr.mu.Lock()
+		if curr.marked || !validateELink(prev, dir, curr) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+		left := curr.child[0].Load()
+		right := curr.child[1].Load()
+		if left == nil || right == nil {
+			repl := left
+			if repl == nil {
+				repl = right
+			}
+			t.provider.Label(&curr.dtime) // linearization of the delete
+			curr.marked = true
+			t.em.Retire(th.ID, curr) // limbo before unlink: never invisible
+			prev.child[dir].Store(repl)
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		if t.deleteTwoChildren(th, prev, dir, curr, left, right) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+	}
+}
+
+func (t *EBRTree) deleteTwoChildren(th *core.Thread, prev *enode, dir int, curr, left, right *enode) bool {
+	succPrev := curr
+	succ := right
+	for {
+		next := succ.child[0].Load()
+		if next == nil {
+			break
+		}
+		succPrev = succ
+		succ = next
+	}
+	if succPrev != curr {
+		succPrev.mu.Lock()
+	}
+	succ.mu.Lock()
+	valid := !succ.marked && !succPrev.marked && succ.child[0].Load() == nil
+	if succPrev == curr {
+		valid = valid && succPrev.child[1].Load() == succ
+	} else {
+		valid = valid && succPrev.child[0].Load() == succ
+	}
+	if !valid {
+		succ.mu.Unlock()
+		if succPrev != curr {
+			succPrev.mu.Unlock()
+		}
+		return false
+	}
+
+	n := newEnode(succ.key, succ.val)
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	n.mu.Lock()
+
+	curr.marked = true
+	prev.child[dir].Store(n)
+	// Label the copy before the original successor's deletion label so
+	// the successor's key is never invisible: snapshots in the overlap
+	// window see both and deduplicate.
+	t.provider.Label(&n.itime)
+	t.provider.Label(&curr.dtime)
+	t.em.Retire(th.ID, curr)
+
+	t.rcu.Synchronize()
+
+	succ.marked = true
+	t.provider.Label(&succ.dtime)
+	t.em.Retire(th.ID, succ)
+	succRight := succ.child[1].Load()
+	if succPrev == curr {
+		n.child[1].Store(succRight)
+	} else {
+		succPrev.child[0].Store(succRight)
+	}
+
+	n.mu.Unlock()
+	succ.mu.Unlock()
+	if succPrev != curr {
+		succPrev.mu.Unlock()
+	}
+	return true
+}
+
+// RangeQuery appends every pair with lo <= key <= hi as of one
+// linearizable snapshot: nodes inserted at or before the bound and not
+// deleted at or before it, found in the live tree or — for nodes removed
+// during the traversal — in the EBR limbo lists.
+func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	t.em.Pin(th.ID)
+	s := t.provider.Snapshot()
+	th.AnnounceRQ(s)
+
+	acc := make(map[uint64]uint64)
+	t.collect(t.root.child[0].Load(), lo, hi, s, acc)
+	t.em.ForEachRetired(func(n *enode) bool {
+		if n.key >= lo && n.key <= hi && ebrrq.VisibleAt(n.itime.Get(), n.dtime.Get(), s) {
+			acc[n.key] = n.val
+		}
+		return true
+	})
+
+	t.em.Unpin(th.ID)
+	th.DoneRQ()
+	for k, v := range acc {
+		out = append(out, core.KV{Key: k, Val: v})
+	}
+	return out
+}
+
+func (t *EBRTree) collect(n *enode, lo, hi uint64, s core.TS, acc map[uint64]uint64) {
+	if n == nil {
+		return
+	}
+	if lo < n.key {
+		t.collect(n.child[0].Load(), lo, hi, s, acc)
+	}
+	if n.key >= lo && n.key <= hi && ebrrq.VisibleAt(n.itime.Get(), n.dtime.Get(), s) {
+		acc[n.key] = n.val
+	}
+	if hi > n.key {
+		t.collect(n.child[1].Load(), lo, hi, s, acc)
+	}
+}
+
+// Len counts present keys; quiescent use only (tests).
+func (t *EBRTree) Len() int {
+	n := 0
+	var walk func(*enode)
+	walk = func(x *enode) {
+		if x == nil {
+			return
+		}
+		n++
+		walk(x.child[0].Load())
+		walk(x.child[1].Load())
+	}
+	walk(t.root.child[0].Load())
+	return n
+}

@@ -1,0 +1,282 @@
+package citrus
+
+import (
+	"sync"
+
+	"tscds/internal/core"
+	"tscds/internal/rcu"
+	"tscds/internal/vcas"
+)
+
+// vnode is a Citrus node whose child pointers are vCAS objects. Key and
+// value are immutable; marked is set under the node's lock and never
+// cleared.
+type vnode struct {
+	key, val uint64
+	mu       sync.Mutex
+	marked   bool
+	child    [2]vcas.Object[*vnode]
+}
+
+func newVnode(key, val uint64) *vnode {
+	n := &vnode{key: key, val: val}
+	n.child[0].Init(nil)
+	n.child[1].Init(nil)
+	return n
+}
+
+// VcasTree is the Citrus tree augmented with vCAS range queries.
+type VcasTree struct {
+	src  core.Source
+	reg  *core.Registry
+	rcu  *rcu.RCU
+	root *vnode
+}
+
+// NewVcas builds an empty tree over the given source and registry.
+func NewVcas(src core.Source, reg *core.Registry) *VcasTree {
+	return &VcasTree{
+		src:  src,
+		reg:  reg,
+		rcu:  rcu.New(reg.Cap()),
+		root: newVnode(sentinelKey, 0),
+	}
+}
+
+// Source returns the tree's timestamp source.
+func (t *VcasTree) Source() core.Source { return t.src }
+
+// traverse returns (prev, curr) where curr.key == key, or curr == nil
+// with prev the would-be parent. Runs inside an RCU read section.
+func (t *VcasTree) traverse(tid int, key uint64) (prev, curr *vnode) {
+	t.rcu.ReadLock(tid)
+	prev = t.root
+	curr = prev.child[dirOf(key, prev.key)].Read(t.src)
+	for curr != nil && curr.key != key {
+		prev = curr
+		curr = curr.child[dirOf(key, curr.key)].Read(t.src)
+	}
+	t.rcu.ReadUnlock(tid)
+	return prev, curr
+}
+
+// Contains reports whether key is present.
+func (t *VcasTree) Contains(th *core.Thread, key uint64) bool {
+	_, curr := t.traverse(th.ID, key)
+	return curr != nil
+}
+
+// Get returns the value stored at key.
+func (t *VcasTree) Get(th *core.Thread, key uint64) (uint64, bool) {
+	_, curr := t.traverse(th.ID, key)
+	if curr == nil {
+		return 0, false
+	}
+	return curr.val, true
+}
+
+// validateLink re-checks, under prev's lock, that the traversal result
+// still describes the tree.
+func (t *VcasTree) validateLink(prev *vnode, dir int, curr *vnode) bool {
+	return !prev.marked && prev.child[dir].Read(t.src) == curr
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *VcasTree) Insert(th *core.Thread, key, val uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr != nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		if !t.validateLink(prev, dir, nil) {
+			prev.mu.Unlock()
+			continue
+		}
+		n := newVnode(key, val)
+		prev.child[dir].Write(t.src, n)
+		t.maybeTruncate(prev, key)
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	for {
+		prev, curr := t.traverse(th.ID, key)
+		if curr == nil {
+			return false
+		}
+		dir := dirOf(key, prev.key)
+		prev.mu.Lock()
+		curr.mu.Lock()
+		if curr.marked || !t.validateLink(prev, dir, curr) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+		left := curr.child[0].Read(t.src)
+		right := curr.child[1].Read(t.src)
+		if left == nil || right == nil {
+			// At most one child: splice it up.
+			repl := left
+			if repl == nil {
+				repl = right
+			}
+			curr.marked = true
+			prev.child[dir].Write(t.src, repl)
+			t.maybeTruncate(prev, key)
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		if t.deleteTwoChildren(prev, dir, curr, left, right) {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+	}
+}
+
+// deleteTwoChildren performs Citrus's successor relocation. Caller holds
+// prev and curr locks; returns false to signal a full retry.
+func (t *VcasTree) deleteTwoChildren(prev *vnode, dir int, curr, left, right *vnode) bool {
+	// Find the successor (leftmost node of the right subtree) and its
+	// parent while holding curr's lock, so the subtree cannot be
+	// relocated away — but its internals may still change, hence the
+	// validation after locking.
+	succPrev := curr
+	succ := right
+	for {
+		next := succ.child[0].Read(t.src)
+		if next == nil {
+			break
+		}
+		succPrev = succ
+		succ = next
+	}
+	if succPrev != curr {
+		succPrev.mu.Lock()
+	}
+	succ.mu.Lock()
+	valid := !succ.marked && !succPrev.marked &&
+		succ.child[0].Read(t.src) == nil
+	if succPrev == curr {
+		valid = valid && succPrev.child[1].Read(t.src) == succ
+	} else {
+		valid = valid && succPrev.child[0].Read(t.src) == succ
+	}
+	if !valid {
+		succ.mu.Unlock()
+		if succPrev != curr {
+			succPrev.mu.Unlock()
+		}
+		return false
+	}
+
+	n := newVnode(succ.key, succ.val)
+	n.child[0].Init(left)
+	n.child[1].Init(right)
+	n.mu.Lock() // published locked so no writer touches it before we finish
+
+	curr.marked = true
+	prev.child[dir].Write(t.src, n)
+
+	// Wait out readers that may be en route to succ through curr.
+	t.rcu.Synchronize()
+
+	succ.marked = true
+	succRight := succ.child[1].Read(t.src)
+	if succPrev == curr {
+		n.child[1].Write(t.src, succRight)
+	} else {
+		succPrev.child[0].Write(t.src, succRight)
+	}
+	t.maybeTruncate(prev, succ.key)
+
+	n.mu.Unlock()
+	succ.mu.Unlock()
+	if succPrev != curr {
+		succPrev.mu.Unlock()
+	}
+	return true
+}
+
+func (t *VcasTree) maybeTruncate(n *vnode, key uint64) {
+	if key%64 != 0 {
+		return
+	}
+	min := t.reg.MinActiveRQ()
+	n.child[0].Truncate(min)
+	n.child[1].Truncate(min)
+}
+
+// RangeQuery appends every pair with lo <= key <= hi as of one
+// linearizable snapshot. vCAS range queries advance the timestamp
+// (Source.Snapshot) — the fetch-and-add that dominates read-heavy
+// workloads in Figure 3 until TSC removes it.
+func (t *VcasTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	s := t.src.Snapshot()
+	th.AnnounceRQ(s)
+	base := len(out)
+	out = t.collect(t.childAt(t.root, 0, s), lo, hi, s, base, out)
+	th.DoneRQ()
+	return out
+}
+
+// childAt reads a routing edge as of snapshot bound s.
+func (t *VcasTree) childAt(n *vnode, dir int, s core.TS) *vnode {
+	c, _ := n.child[dir].ReadVersion(t.src, s)
+	return c
+}
+
+// collect walks the snapshot in order, deduplicating the equal adjacent
+// keys that a concurrent two-child delete can momentarily expose (the
+// in-order walk of a BST is sorted, so duplicates are always adjacent).
+func (t *VcasTree) collect(n *vnode, lo, hi uint64, s core.TS, base int, out []core.KV) []core.KV {
+	if n == nil {
+		return out
+	}
+	if lo < n.key {
+		out = t.collect(t.childAt(n, 0, s), lo, hi, s, base, out)
+	}
+	if n.key >= lo && n.key <= hi {
+		if len(out) == base || out[len(out)-1].Key != n.key {
+			out = append(out, core.KV{Key: n.key, Val: n.val})
+		}
+	}
+	if hi > n.key {
+		out = t.collect(t.childAt(n, 1, s), lo, hi, s, base, out)
+	}
+	return out
+}
+
+// Len counts present keys; quiescent use only (tests).
+func (t *VcasTree) Len() int {
+	n := 0
+	var walk func(*vnode)
+	walk = func(x *vnode) {
+		if x == nil {
+			return
+		}
+		n++
+		walk(x.child[0].Read(t.src))
+		walk(x.child[1].Read(t.src))
+	}
+	walk(t.root.child[0].Read(t.src))
+	return n
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: a drop-in
+// timestamp API that lets a range-query algorithm switch between a global
+// logical timestamp and the CPU's synchronized hardware timestamp counter
+// (TSC), plus the shared machinery every ported technique needs — padded
+// atomics, and a registry of active range-query timestamps used to
+// garbage-collect version chains, bundle entries and limbo lists.
+//
+// The API mirrors the paper's porting recipe exactly: every place an
+// algorithm incremented the logical timestamp becomes Source.Advance, and
+// every place it read the timestamp becomes Source.Peek. For hardware
+// sources both calls are a fenced RDTSCP read; for the logical source
+// Advance is an atomic fetch-and-add on a single shared cache line — the
+// contention bottleneck the paper measures.
+package core
+
+import "math"
+
+// TS is a timestamp. Logical sources produce small dense integers;
+// hardware sources produce TSC cycle counts. Algorithms only ever compare
+// timestamps and never assume density.
+type TS = uint64
+
+// Pending marks an object whose timestamp label has been reserved but not
+// yet assigned (vCAS's "TBD", bundling's pending entry). It is the
+// largest TS so an unlabeled object always appears "newer than any
+// snapshot" until labeled.
+const Pending TS = math.MaxUint64
+
+// MaxTS is the largest assignable timestamp (one below Pending).
+const MaxTS TS = Pending - 1
+
+// KV is a key-value pair returned by range queries.
+type KV struct {
+	Key, Val uint64
+}
+
+// Kind identifies a timestamp source implementation.
+type Kind int
+
+const (
+	// Logical is a shared atomic counter: Advance = fetch-and-add,
+	// Peek = load. The baseline in every figure.
+	Logical Kind = iota
+	// TSC is RDTSCP;LFENCE — the paper's recommended hardware source.
+	TSC
+	// TSCUnfenced is a bare RDTSCP (pseudo-serializing only); shown in
+	// Figure 1 to bound fence overhead.
+	TSCUnfenced
+	// TSCCPUID is CPUID;RDTSC — fully serialized but ~200+ cycles.
+	TSCCPUID
+	// TSCRaw is a bare RDTSC with no ordering guarantees.
+	TSCRaw
+	// Monotonic is the portable monotonic-clock source, used where TSC
+	// is unavailable (non-amd64, or non-invariant TSC).
+	Monotonic
+)
+
+// String returns the series label used in benchmark output, matching the
+// paper's legend names.
+func (k Kind) String() string {
+	switch k {
+	case Logical:
+		return "Logical"
+	case TSC:
+		return "RDTSCP"
+	case TSCUnfenced:
+		return "RDTSCP-nofence"
+	case TSCCPUID:
+		return "RDTSC-CPUID"
+	case TSCRaw:
+		return "RDTSC-nofence"
+	case Monotonic:
+		return "Monotonic"
+	}
+	return "Unknown"
+}
+
+// Hardware reports whether the kind reads a per-core hardware counter
+// rather than a shared memory location.
+func (k Kind) Hardware() bool { return k != Logical }
+
+// Source produces timestamps. Implementations must guarantee that
+// timestamps are monotonically (not necessarily strictly) increasing with
+// respect to real-time order: if a call happens-after another call
+// returns, it yields a value >= the earlier result.
+type Source interface {
+	// Advance obtains a new timestamp, advancing the global order. On a
+	// logical source this is a fetch-and-add; on hardware sources it is
+	// simply a read, since the counter advances on its own.
+	Advance() TS
+	// Peek reads the current timestamp without advancing it. On a
+	// logical source this is an atomic load.
+	Peek() TS
+	// Snapshot returns a closed snapshot bound s: every label produced
+	// by Peek or Advance that starts after Snapshot returns is >= s, and
+	// on a logical source strictly greater. Range queries linearize at
+	// Snapshot and include exactly the labels <= s. On a logical source
+	// this is a fetch-and-add returning the pre-increment value; on
+	// hardware sources it is a read (ties with in-flight labels are the
+	// theoretical corner case of §III-A, addressed by AdvanceStrict
+	// where an algorithm needs strictness).
+	Snapshot() TS
+	// Kind identifies the implementation.
+	Kind() Kind
+}
+
+// AdvanceStrict returns a timestamp strictly greater than prev, spinning
+// until the source moves past it. This is the Jiffy-style tie-avoidance
+// discussed in §III-A: TSC is monotonic but not strictly increasing, so
+// algorithms that require unique versions wait out ties. The wait is
+// bounded by one counter increment (a clock cycle for TSC); for a logical
+// source Advance already guarantees strict increase so no spin occurs.
+func AdvanceStrict(s Source, prev TS) TS {
+	for {
+		t := s.Advance()
+		if t > prev {
+			return t
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+// OrdoSource wraps a hardware source with an ORDO-style uncertainty
+// window (Kashyap et al., "A scalable ordering primitive for multicore
+// machines", EuroSys 2018 — discussed in the paper's related work §V).
+//
+// ORDO targets machines whose per-core clocks are NOT guaranteed
+// synchronized: it measures a bound Δ on the pairwise clock skew and
+// derives ordering only across timestamps more than Δ apart. Here,
+// Advance returns read+Δ — a value guaranteed greater than any raw
+// clock reading taken on any core before the call — while Peek returns
+// the raw reading. With invariant TSC (the paper's assumption) Δ is
+// zero and OrdoSource degenerates to its inner source; a nonzero Δ lets
+// the test suite and the ablation benchmarks explore how skew-tolerance
+// inflates snapshot windows.
+type OrdoSource struct {
+	inner Source
+	delta TS
+}
+
+// NewOrdo wraps inner with uncertainty bound delta.
+func NewOrdo(inner Source, delta TS) *OrdoSource {
+	return &OrdoSource{inner: inner, delta: delta}
+}
+
+// Advance returns a timestamp ordered after every clock reading taken
+// before the call on any core, assuming pairwise skew is below delta.
+func (s *OrdoSource) Advance() TS {
+	t := s.inner.Advance()
+	if t > MaxTS-s.delta {
+		return MaxTS
+	}
+	return t + s.delta
+}
+
+// Peek returns the raw clock reading.
+func (s *OrdoSource) Peek() TS { return s.inner.Peek() }
+
+// Snapshot returns a closed snapshot bound: the raw reading, since
+// labels produced by Advance are at least delta ahead of any
+// concurrently-read raw value.
+func (s *OrdoSource) Snapshot() TS { return s.inner.Snapshot() }
+
+// Kind reports the wrapped source's kind.
+func (s *OrdoSource) Kind() Kind { return s.inner.Kind() }
+
+// Delta reports the uncertainty bound.
+func (s *OrdoSource) Delta() TS { return s.delta }

@@ -1,0 +1,48 @@
+package core
+
+import "sync/atomic"
+
+// cacheLine is the assumed cache line size. Padding uses two lines to
+// defeat the adjacent-line prefetcher that Intel parts enable by default.
+const cacheLine = 64
+
+// PaddedUint64 is an atomic uint64 alone on its own pair of cache lines,
+// so contended counters (the logical timestamp, per-thread announcement
+// slots) never false-share with neighbours.
+type PaddedUint64 struct {
+	_ [cacheLine]byte
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Load atomically loads the value.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *PaddedUint64) Store(v uint64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS.
+func (p *PaddedUint64) CompareAndSwap(old, new uint64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// Raw returns the underlying atomic for callers that need its address
+// (the DCSS in lock-free EBR-RQ validates the counter by address).
+func (p *PaddedUint64) Raw() *atomic.Uint64 { return &p.v }
+
+// PaddedBool is a padded atomic flag used for run/stop signalling in the
+// benchmark harness without perturbing measured cache lines.
+type PaddedBool struct {
+	_ [cacheLine]byte
+	v atomic.Bool
+	_ [cacheLine - 1]byte
+}
+
+// Load atomically loads the flag.
+func (p *PaddedBool) Load() bool { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *PaddedBool) Store(v bool) { p.v.Store(v) }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry tracks the threads operating on a data structure and the
+// timestamp of each thread's in-flight range query. Every ported
+// technique needs this for garbage collection: a vCAS version, a bundle
+// entry or a limbo-list node may be reclaimed only once no active range
+// query could still need it, i.e. once it is older than MinActiveRQ.
+//
+// Each slot sits on its own cache line pair so announcements never
+// contend with one another or with the logical timestamp.
+type Registry struct {
+	mu    sync.Mutex
+	free  []int
+	next  int
+	slots []PaddedUint64 // Pending = no active range query
+}
+
+// DefaultMaxThreads is the registry capacity used by the public facade.
+const DefaultMaxThreads = 256
+
+// NewRegistry returns a registry with capacity for maxThreads concurrent
+// thread handles.
+func NewRegistry(maxThreads int) *Registry {
+	if maxThreads <= 0 {
+		maxThreads = DefaultMaxThreads
+	}
+	r := &Registry{slots: make([]PaddedUint64, maxThreads)}
+	for i := range r.slots {
+		r.slots[i].Store(Pending)
+	}
+	return r
+}
+
+// Cap returns the registry capacity.
+func (r *Registry) Cap() int { return len(r.slots) }
+
+// Thread is a per-goroutine handle. Handles are not safe for concurrent
+// use by multiple goroutines; each worker registers its own.
+type Thread struct {
+	// ID is the slot index, usable to index per-thread structures
+	// (limbo lists, RCU slots) sized by Registry.Cap.
+	ID  int
+	reg *Registry
+}
+
+// Register allocates a thread handle, reusing released slots.
+func (r *Registry) Register() (*Thread, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var id int
+	switch {
+	case len(r.free) > 0:
+		id = r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+	case r.next < len(r.slots):
+		id = r.next
+		r.next++
+	default:
+		return nil, fmt.Errorf("core: registry full (%d threads)", len(r.slots))
+	}
+	r.slots[id].Store(Pending)
+	return &Thread{ID: id, reg: r}, nil
+}
+
+// MustRegister is Register for callers that size the registry correctly
+// by construction (benchmark harness, examples).
+func (r *Registry) MustRegister() *Thread {
+	t, err := r.Register()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Release returns the slot to the registry. The handle must not be used
+// afterwards.
+func (t *Thread) Release() {
+	t.reg.mu.Lock()
+	defer t.reg.mu.Unlock()
+	t.reg.slots[t.ID].Store(Pending)
+	t.reg.free = append(t.reg.free, t.ID)
+}
+
+// ReservedRQ is the announcement value stored by BeginRQ. It is below
+// every real timestamp (sources start at 1), so an in-preparation range
+// query blocks all pruning until it publishes its actual timestamp.
+const ReservedRQ TS = 0
+
+// BeginRQ reserves this thread's announcement slot *before* the range
+// query reads its snapshot timestamp. Without the reservation there is a
+// race: a pruner could compute MinActiveRQ between the query obtaining
+// its timestamp and announcing it, and reclaim history the query needs.
+func (t *Thread) BeginRQ() { t.reg.slots[t.ID].Store(ReservedRQ) }
+
+// AnnounceRQ publishes the timestamp of the range query this thread is
+// executing, replacing the BeginRQ reservation. It must remain until
+// DoneRQ.
+func (t *Thread) AnnounceRQ(ts TS) { t.reg.slots[t.ID].Store(ts) }
+
+// DoneRQ withdraws the announcement.
+func (t *Thread) DoneRQ() { t.reg.slots[t.ID].Store(Pending) }
+
+// Registry returns the owning registry.
+func (t *Thread) Registry() *Registry { return t.reg }
+
+// MinActiveRQ returns the smallest announced range-query timestamp, or
+// Pending when no range query is active. Anything labeled with a
+// timestamp strictly below the returned value can no longer be observed
+// by any in-flight or future snapshot taken at or after this call
+// returns, because future snapshots only receive larger timestamps.
+func (r *Registry) MinActiveRQ() TS {
+	min := Pending
+	for i := range r.slots {
+		if v := r.slots[i].Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tscds/internal/tsc"
+)
+
+// LogicalSource is the baseline: a single shared counter on its own cache
+// line. Advance is a fetch-and-add — the single point of contention the
+// paper identifies — and Peek is an atomic load.
+type LogicalSource struct {
+	c PaddedUint64
+}
+
+// NewLogical returns a logical source starting at 1 (0 is reserved as
+// "before all snapshots" by the data structures).
+func NewLogical() *LogicalSource {
+	s := &LogicalSource{}
+	s.c.Store(1)
+	return s
+}
+
+// Advance increments the counter and returns the new value.
+func (s *LogicalSource) Advance() TS { return s.c.Add(1) }
+
+// Addr exposes the counter's memory address. Lock-free EBR-RQ needs this
+// for its DCSS (the swap only succeeds if the timestamp at this address
+// is unchanged) — which is precisely why, per the paper §IV, that
+// algorithm cannot be ported to hardware timestamps: a TSC value has no
+// address to validate.
+func (s *LogicalSource) Addr() *atomic.Uint64 { return s.c.Raw() }
+
+// Addressable is implemented by sources whose timestamp lives at a
+// memory address (only LogicalSource). Algorithms that validate the
+// timestamp's value over time (lock-free EBR-RQ) require it.
+type Addressable interface {
+	Source
+	Addr() *atomic.Uint64
+}
+
+// Peek loads the counter.
+func (s *LogicalSource) Peek() TS { return s.c.Load() }
+
+// Snapshot advances the counter and returns the pre-increment value, so
+// every label taken after the snapshot is strictly newer than the bound.
+func (s *LogicalSource) Snapshot() TS { return s.c.Add(1) - 1 }
+
+// Kind reports Logical.
+func (s *LogicalSource) Kind() Kind { return Logical }
+
+// hwSource reads a per-core counter; Advance and Peek are the same read.
+type hwSource struct {
+	kind Kind
+	read func() uint64
+}
+
+func (s *hwSource) Advance() TS  { return s.read() }
+func (s *hwSource) Peek() TS     { return s.read() }
+func (s *hwSource) Snapshot() TS { return s.read() }
+func (s *hwSource) Kind() Kind   { return s.kind }
+
+// New returns a Source of the requested kind. Hardware kinds silently use
+// the monotonic fallback when the host lacks the needed instructions (the
+// tsc package handles that), so callers can always construct any kind.
+func New(k Kind) Source {
+	switch k {
+	case Logical:
+		return NewLogical()
+	case TSC:
+		return &hwSource{kind: k, read: tsc.ReadFenced}
+	case TSCUnfenced:
+		return &hwSource{kind: k, read: tsc.ReadP}
+	case TSCCPUID:
+		return &hwSource{kind: k, read: tsc.ReadCPUID}
+	case TSCRaw:
+		return &hwSource{kind: k, read: tsc.Read}
+	case Monotonic:
+		return &hwSource{kind: k, read: tsc.Monotonic}
+	}
+	panic("core: unknown source kind")
+}
+
+// Best returns the preferred hardware source for this host: fenced RDTSCP
+// when the CPU advertises invariant TSC, otherwise the monotonic clock.
+// This mirrors the paper's guidance that invariant TSC is the property
+// that makes cross-core timestamp comparison sound.
+func Best() Source {
+	if tsc.Supported() && tsc.Invariant() {
+		return New(TSC)
+	}
+	return New(Monotonic)
+}

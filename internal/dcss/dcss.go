@@ -1,0 +1,145 @@
+// Package dcss implements the double-compare-single-swap primitive of
+// Harris, Fraser and Pratt ("A practical multi-word compare-and-swap
+// operation", DISC 2002), restricted to the two-address form that
+// lock-free EBR-RQ needs: atomically store n2 into address a2 if and only
+// if a2 currently holds e2 AND a separate address a1 holds e1.
+//
+// In EBR-RQ, a1 is the global logical timestamp and a2 is a node's
+// insertion/deletion label; the primitive makes (read timestamp, label
+// node) atomic without locks. Because it fundamentally validates a value
+// *at an address*, it is the construct the paper identifies as
+// incompatible with hardware timestamps.
+//
+// Words are lock-free: readers encountering an in-flight descriptor help
+// complete it and retry, so a stalled writer never blocks progress.
+package dcss
+
+import "sync/atomic"
+
+// Word is a 64-bit location supporting Read, CAS and DCSS with helping.
+// The zero value holds 0.
+type Word struct {
+	p atomic.Pointer[cell]
+}
+
+// cell boxes either a plain value (desc == nil) or an in-flight DCSS
+// descriptor occupying the word.
+type cell struct {
+	val  uint64
+	desc *descriptor
+}
+
+const (
+	undecided uint32 = iota
+	succeeded
+	failed
+)
+
+type descriptor struct {
+	a1     *atomic.Uint64
+	e1     uint64
+	w      *Word
+	e2, n2 uint64
+	status atomic.Uint32
+}
+
+// Read returns the word's current value, helping any in-flight DCSS
+// complete first.
+func (w *Word) Read() uint64 {
+	for {
+		p := w.p.Load()
+		if p == nil {
+			return 0
+		}
+		if p.desc == nil {
+			return p.val
+		}
+		p.desc.complete(p)
+	}
+}
+
+// Store unconditionally sets the value, helping in-flight operations so
+// their outcome is decided before being overwritten. Intended for
+// initialization and single-writer phases.
+func (w *Word) Store(v uint64) {
+	nc := &cell{val: v}
+	for {
+		p := w.p.Load()
+		if p != nil && p.desc != nil {
+			p.desc.complete(p)
+			continue
+		}
+		if w.p.CompareAndSwap(p, nc) {
+			return
+		}
+	}
+}
+
+// CAS atomically replaces old with new, helping in-flight DCSS
+// operations. It returns false if the current value differs from old.
+func (w *Word) CAS(old, new uint64) bool {
+	nc := &cell{val: new}
+	for {
+		p := w.p.Load()
+		cur := uint64(0)
+		if p != nil {
+			if p.desc != nil {
+				p.desc.complete(p)
+				continue
+			}
+			cur = p.val
+		}
+		if cur != old {
+			return false
+		}
+		if w.p.CompareAndSwap(p, nc) {
+			return true
+		}
+	}
+}
+
+// DCSS stores n2 into the word iff the word holds e2 and *a1 == e1, all
+// atomically. It returns the value observed in the word and whether the
+// swap took effect. A false return with cur == e2 means the first
+// comparand (a1) had moved — the retry signal EBR-RQ updates act on.
+func (w *Word) DCSS(a1 *atomic.Uint64, e1, e2, n2 uint64) (cur uint64, ok bool) {
+	d := &descriptor{a1: a1, e1: e1, w: w, e2: e2, n2: n2}
+	holder := &cell{val: e2, desc: d}
+	for {
+		p := w.p.Load()
+		val := uint64(0)
+		if p != nil {
+			if p.desc != nil {
+				p.desc.complete(p)
+				continue
+			}
+			val = p.val
+		}
+		if val != e2 {
+			return val, false
+		}
+		if !w.p.CompareAndSwap(p, holder) {
+			continue
+		}
+		d.complete(holder)
+		return e2, d.status.Load() == succeeded
+	}
+}
+
+// complete resolves the descriptor's outcome exactly once (status CAS)
+// and removes it from the word. Safe to call from any helper; holder is
+// the cell through which the caller observed the descriptor.
+func (d *descriptor) complete(holder *cell) {
+	if d.status.Load() == undecided {
+		if d.a1.Load() == d.e1 {
+			d.status.CompareAndSwap(undecided, succeeded)
+		} else {
+			d.status.CompareAndSwap(undecided, failed)
+		}
+	}
+	out := d.e2
+	if d.status.Load() == succeeded {
+		out = d.n2
+	}
+	d.w.p.CompareAndSwap(holder, &cell{val: out})
+}

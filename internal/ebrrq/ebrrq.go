@@ -1,0 +1,156 @@
+// Package ebrrq implements the timestamp machinery of EBR-RQ
+// (Arbel-Raviv & Brown, "Harnessing epoch-based reclamation for efficient
+// range queries", PPoPP 2018), the technique whose coarse-grained
+// timestamp labeling the paper shows cannot profit from hardware
+// timestamps (§IV, Figure 4).
+//
+// EBR-RQ tags every node with an insertion and a deletion timestamp, and
+// requires that an update's (read timestamp, write label) pair executes
+// atomically:
+//
+//   - The lock-based variant holds a global readers-writer lock in shared
+//     mode around the pair, while a range query acquires it exclusively
+//     to advance the timestamp and linearize. Porting to TSC replaces the
+//     counter accesses with RDTSCP reads but must RETAIN the lock — so
+//     the lock, not the counter, remains the bottleneck, which is the
+//     paper's central negative result.
+//
+//   - The lock-free variant uses DCSS: the label write succeeds only if
+//     the global timestamp still holds the value read. Because DCSS
+//     validates the timestamp at an address, this variant is
+//     fundamentally incompatible with TSC; NewLockFree returns
+//     ErrRequiresAddress for hardware sources.
+//
+// A range query at bound s includes a node iff its insertion label is
+// assigned and <= s, and its deletion label is unassigned or > s; the
+// deleted-but-included nodes are found by scanning the EBR limbo lists
+// (package epoch).
+package ebrrq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"tscds/internal/core"
+	"tscds/internal/dcss"
+)
+
+// ErrRequiresAddress is returned when the lock-free variant is asked to
+// use a hardware timestamp: DCSS must validate the timestamp's value at
+// its address, and a TSC read has no address. This pins the paper's
+// finding that lock-free EBR-RQ "prevents the use of TSC altogether".
+var ErrRequiresAddress = errors.New(
+	"ebrrq: lock-free EBR-RQ requires an addressable (logical) timestamp; " +
+		"hardware timestamps cannot be validated by DCSS")
+
+// Variant selects the labeling implementation.
+type Variant int
+
+const (
+	// LockBased protects (read, label) with a global RW lock.
+	LockBased Variant = iota
+	// LockFree makes (read, label) atomic via DCSS.
+	LockFree
+)
+
+// Label is a node's insertion or deletion timestamp field. It starts
+// unassigned and is assigned exactly once. Reads help in-flight DCSS
+// labelings complete, so a range query never observes an undecided
+// label in the lock-free variant.
+type Label struct {
+	w dcss.Word
+}
+
+// Init marks the label unassigned. Must run before the node is
+// published.
+func (l *Label) Init() { l.w.Store(uint64(core.Pending)) }
+
+// Get returns the label, or core.Pending if unassigned.
+func (l *Label) Get() core.TS { return l.w.Read() }
+
+// Assigned reports whether the label has been set.
+func (l *Label) Assigned() bool { return l.Get() != core.Pending }
+
+// Provider issues snapshot bounds to range queries and labels nodes on
+// behalf of updates, with the variant's atomicity discipline.
+type Provider struct {
+	variant Variant
+	src     core.Source
+	mu      sync.RWMutex
+	addr    *atomic.Uint64 // lock-free only
+}
+
+// NewLockBased returns the readers-writer-lock variant over any source.
+// With a hardware source the lock is retained, as the algorithm requires.
+func NewLockBased(src core.Source) *Provider {
+	return &Provider{variant: LockBased, src: src}
+}
+
+// NewLockFree returns the DCSS variant. The source must be addressable
+// (logical); hardware sources yield ErrRequiresAddress.
+func NewLockFree(src core.Source) (*Provider, error) {
+	a, ok := src.(core.Addressable)
+	if !ok {
+		return nil, ErrRequiresAddress
+	}
+	return &Provider{variant: LockFree, src: src, addr: a.Addr()}, nil
+}
+
+// Variant reports the labeling discipline in use.
+func (p *Provider) Variant() Variant { return p.variant }
+
+// Source reports the underlying timestamp source.
+func (p *Provider) Source() core.Source { return p.src }
+
+// Snapshot returns the range query's linearization bound s. Labels
+// assigned by updates that linearize later are strictly greater than s
+// (up to the theoretical TSC tie of §III-A).
+func (p *Provider) Snapshot() core.TS {
+	if p.variant == LockBased {
+		p.mu.Lock()
+		s := p.src.Snapshot()
+		p.mu.Unlock()
+		return s
+	}
+	return p.src.Snapshot()
+}
+
+// Label assigns the current timestamp to l atomically with reading it,
+// returning the assigned value. Labels are assigned exactly once: when
+// helpers race, the first assignment wins and everyone returns it, so
+// observers never see a label change.
+func (p *Provider) Label(l *Label) core.TS {
+	if v := l.Get(); v != core.Pending {
+		return v // already linearized by a helper; no lock traffic
+	}
+	if p.variant == LockBased {
+		p.mu.RLock()
+		t := p.src.Peek()
+		if !l.w.CAS(uint64(core.Pending), t) {
+			t = l.w.Read()
+		}
+		p.mu.RUnlock()
+		return t
+	}
+	for {
+		t := p.addr.Load()
+		cur, ok := l.w.DCSS(p.addr, t, uint64(core.Pending), t)
+		if ok {
+			return t
+		}
+		if core.TS(cur) != core.Pending {
+			return cur // someone else labeled it
+		}
+		// The global timestamp moved between read and swap; retry.
+	}
+}
+
+// VisibleAt reports whether a node labeled (itime, dtime) belongs to the
+// snapshot at bound s. An unassigned insertion label means the insert
+// linearizes after s (exclude); an unassigned deletion label means the
+// node is alive at s or its deletion linearizes after s (include).
+func VisibleAt(itime, dtime core.TS, s core.TS) bool {
+	return itime != core.Pending && itime <= s &&
+		(dtime == core.Pending || dtime > s)
+}

@@ -1,0 +1,165 @@
+// Package epoch implements epoch-based reclamation (EBR) with the one
+// extension EBR-RQ (Arbel-Raviv & Brown, PPoPP 2018) relies on: the
+// per-thread limbo lists holding logically deleted nodes remain *visible*
+// and scannable, so a range query can collect nodes that were removed
+// from the structure after the query's linearization point but belonged
+// to its snapshot.
+//
+// A node is retired into its deleter's limbo list tagged with the current
+// global epoch. It is pruned (dropped, leaving physical reclamation to
+// Go's GC) only when both conditions hold:
+//
+//  1. two epochs have passed since retirement, so no thread can still
+//     hold a reference obtained from the structure (classic EBR), and
+//  2. the caller-supplied retention predicate releases it — EBR-RQ keeps
+//     a node while any active range query's timestamp still precedes the
+//     node's deletion timestamp.
+//
+// Lists are single-writer (the owning thread appends and prunes) with
+// concurrent lock-free readers, matching the original design.
+package epoch
+
+import (
+	"sync/atomic"
+
+	"tscds/internal/core"
+)
+
+// quiescent marks an unpinned thread slot.
+const quiescent = ^uint64(0)
+
+// pruneInterval is how many retirements pass between prune/advance
+// attempts by one thread.
+const pruneInterval = 64
+
+type limboNode[T any] struct {
+	item  T
+	epoch uint64
+	next  atomic.Pointer[limboNode[T]]
+}
+
+type slot[T any] struct {
+	local   core.PaddedUint64 // epoch observed while pinned; quiescent otherwise
+	head    atomic.Pointer[limboNode[T]]
+	retires int // owner-local counter
+	_       [40]byte
+}
+
+// Manager coordinates epochs and limbo lists for up to a fixed number of
+// threads (indexed by core.Thread.ID).
+type Manager[T any] struct {
+	global core.PaddedUint64
+	// retain reports whether an item must stay visible given the current
+	// minimum active range-query timestamp (core.Pending when none).
+	retain func(item T, minRQ core.TS) bool
+	// minRQ supplies the current minimum active range-query timestamp.
+	minRQ func() core.TS
+	slots []slot[T]
+}
+
+// NewManager creates a manager for maxThreads threads. retain and minRQ
+// configure range-query-aware retention; passing nil for retain yields
+// plain EBR behaviour (epoch condition only).
+func NewManager[T any](maxThreads int, retain func(T, core.TS) bool, minRQ func() core.TS) *Manager[T] {
+	m := &Manager[T]{
+		retain: retain,
+		minRQ:  minRQ,
+		slots:  make([]slot[T], maxThreads),
+	}
+	m.global.Store(2) // leave room below for "before all epochs"
+	for i := range m.slots {
+		m.slots[i].local.Store(quiescent)
+	}
+	return m
+}
+
+// Pin enters an epoch-protected region for thread tid. Every data
+// structure operation (including range queries) runs pinned.
+func (m *Manager[T]) Pin(tid int) {
+	m.slots[tid].local.Store(m.global.Load())
+}
+
+// Unpin leaves the epoch-protected region.
+func (m *Manager[T]) Unpin(tid int) {
+	m.slots[tid].local.Store(quiescent)
+}
+
+// GlobalEpoch returns the current global epoch (diagnostics and tests).
+func (m *Manager[T]) GlobalEpoch() uint64 { return m.global.Load() }
+
+// Retire places item on tid's limbo list tagged with the current epoch,
+// and periodically attempts epoch advancement and pruning.
+func (m *Manager[T]) Retire(tid int, item T) {
+	s := &m.slots[tid]
+	n := &limboNode[T]{item: item, epoch: m.global.Load()}
+	n.next.Store(s.head.Load())
+	s.head.Store(n)
+	s.retires++
+	if s.retires%pruneInterval == 0 {
+		m.tryAdvance()
+		m.Prune(tid)
+	}
+}
+
+// tryAdvance bumps the global epoch if every pinned thread has observed
+// the current one.
+func (m *Manager[T]) tryAdvance() {
+	g := m.global.Load()
+	for i := range m.slots {
+		if l := m.slots[i].local.Load(); l != quiescent && l < g {
+			return
+		}
+	}
+	m.global.CompareAndSwap(g, g+1)
+}
+
+// Prune drops the reclaimable suffix of tid's limbo list. Per-thread
+// lists are ordered newest-first with per-thread-monotonic deletion
+// timestamps, so once one node is reclaimable the entire suffix is.
+func (m *Manager[T]) Prune(tid int) {
+	safe := m.global.Load()
+	if safe < 2 {
+		return
+	}
+	safe -= 2
+	min := core.Pending
+	if m.minRQ != nil {
+		min = m.minRQ()
+	}
+	s := &m.slots[tid]
+	var prev *limboNode[T]
+	for n := s.head.Load(); n != nil; n = n.next.Load() {
+		if n.epoch <= safe && (m.retain == nil || !m.retain(n.item, min)) {
+			if prev == nil {
+				s.head.Store(nil)
+			} else {
+				prev.next.Store(nil)
+			}
+			return
+		}
+		prev = n
+	}
+}
+
+// ForEachRetired visits every item currently on any thread's limbo list.
+// It is safe to run concurrently with retirements and pruning; the
+// visitor may observe items being pruned concurrently (they are, by the
+// retention protocol, items no active range query needs). Returning
+// false stops the scan.
+func (m *Manager[T]) ForEachRetired(fn func(item T) bool) {
+	for i := range m.slots {
+		for n := m.slots[i].head.Load(); n != nil; n = n.next.Load() {
+			if !fn(n.item) {
+				return
+			}
+		}
+	}
+}
+
+// LimboLen reports the total number of items across all limbo lists
+// (tests and heap-boundedness checks).
+func (m *Manager[T]) LimboLen() int {
+	total := 0
+	m.ForEachRetired(func(T) bool { total++; return true })
+	return total
+}

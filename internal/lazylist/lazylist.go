@@ -1,0 +1,352 @@
+// Package lazylist implements the lazy sorted linked list (Heller,
+// Herlihy, Luchangco, Moir, Scherer, Shavit, OPODIS 2005) augmented with
+// range queries via bundled references and via vCAS. The paper tested
+// these combinations and reports no TSC benefit — the list's O(n)
+// traversal, not the timestamp, is the bottleneck — and our benchmark
+// harness reproduces that negative result (BenchmarkLazyList*).
+//
+// The bundled variant uses the same insertion/deletion-timestamp
+// protocol as package skiplist (labels assigned before bundle entries
+// finalize) so elemental reads and snapshots share linearization
+// instants. The vCAS variant versions both the links and the marked
+// flag, so every read fixes labels by helping, as in Wei et al.
+package lazylist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tscds/internal/bundle"
+	"tscds/internal/core"
+	"tscds/internal/vcas"
+)
+
+// MaxKey is the largest insertable key; 0 is the head sentinel's slot.
+const MaxKey = ^uint64(0) - 2
+
+// ---------------------------------------------------------------------
+// Bundled variant
+// ---------------------------------------------------------------------
+
+type bnode struct {
+	key, val uint64
+	mu       sync.Mutex
+	its, dts atomic.Uint64
+	next     atomic.Pointer[bnode]
+	bnd      bundle.Bundle[bnode]
+}
+
+func alive(dts uint64) bool { return dts == 0 || dts == uint64(core.Pending) }
+
+// BundleList is the lazy list with bundled next links.
+type BundleList struct {
+	src  core.Source
+	reg  *core.Registry
+	head *bnode
+}
+
+// NewBundle creates an empty bundled lazy list.
+func NewBundle(src core.Source, reg *core.Registry) *BundleList {
+	h := &bnode{}
+	h.bnd.Init(nil)
+	return &BundleList{src: src, reg: reg, head: h}
+}
+
+// Source returns the list's timestamp source.
+func (t *BundleList) Source() core.Source { return t.src }
+
+func (t *BundleList) find(key uint64) (pred, cur *bnode) {
+	pred = t.head
+	cur = pred.next.Load()
+	for cur != nil && cur.key < key {
+		pred = cur
+		cur = cur.next.Load()
+	}
+	return pred, cur
+}
+
+// Contains reports whether key is present.
+func (t *BundleList) Contains(_ *core.Thread, key uint64) bool {
+	_, cur := t.find(key)
+	if cur == nil || cur.key != key {
+		return false
+	}
+	if cur.its.Load() == uint64(core.Pending) {
+		return false
+	}
+	return alive(cur.dts.Load())
+}
+
+// Get returns the value stored at key.
+func (t *BundleList) Get(th *core.Thread, key uint64) (uint64, bool) {
+	_, cur := t.find(key)
+	if cur == nil || cur.key != key || cur.its.Load() == uint64(core.Pending) || !alive(cur.dts.Load()) {
+		return 0, false
+	}
+	return cur.val, true
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *BundleList) Insert(th *core.Thread, key, val uint64) bool {
+	if key == 0 || key > MaxKey {
+		return false
+	}
+	for {
+		pred, cur := t.find(key)
+		if cur != nil && cur.key == key {
+			for cur.its.Load() == uint64(core.Pending) {
+				runtime.Gosched()
+			}
+			if !alive(cur.dts.Load()) {
+				continue // deleted, unlink imminent
+			}
+			return false
+		}
+		pred.mu.Lock()
+		if !alive(pred.dts.Load()) || pred.next.Load() != cur {
+			pred.mu.Unlock()
+			continue
+		}
+		n := &bnode{key: key, val: val}
+		n.its.Store(uint64(core.Pending))
+		n.next.Store(cur)
+		eInit := n.bnd.InitPending(cur)
+		ePred := pred.bnd.Prepare(n)
+		pred.next.Store(n)
+		ts := t.src.Advance()
+		n.its.Store(ts)
+		pred.bnd.Finalize(ePred, ts)
+		n.bnd.Finalize(eInit, ts)
+		t.maybeTruncate(pred, key)
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
+	for {
+		pred, cur := t.find(key)
+		if cur == nil || cur.key != key {
+			return false
+		}
+		for cur.its.Load() == uint64(core.Pending) {
+			runtime.Gosched()
+		}
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if !alive(pred.dts.Load()) || pred.next.Load() != cur {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		if !alive(cur.dts.Load()) {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			return false
+		}
+		ePred := pred.bnd.Prepare(cur.next.Load())
+		ts := t.src.Advance()
+		cur.dts.Store(ts) // linearization
+		pred.bnd.Finalize(ePred, ts)
+		pred.next.Store(cur.next.Load())
+		t.maybeTruncate(pred, key)
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+func (t *BundleList) maybeTruncate(n *bnode, key uint64) {
+	if key%64 == 0 {
+		n.bnd.Truncate(t.reg.MinActiveRQ())
+	}
+}
+
+// RangeQuery appends every pair in [lo,hi] as of one snapshot. The walk
+// starts at the head: unlike the skip list there is no index, which is
+// exactly why the paper saw no TSC gain here — the O(n) walk dwarfs the
+// timestamp access.
+func (t *BundleList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	s := t.src.Peek()
+	th.AnnounceRQ(s)
+	cur, ok := t.head.bnd.PtrAt(s)
+	for ok && cur != nil && cur.key <= hi {
+		if cur.key >= lo {
+			out = append(out, core.KV{Key: cur.key, Val: cur.val})
+		}
+		cur, ok = cur.bnd.PtrAt(s)
+	}
+	th.DoneRQ()
+	return out
+}
+
+// Len counts present keys; quiescent use only.
+func (t *BundleList) Len() int {
+	n := 0
+	for cur := t.head.next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// vCAS variant
+// ---------------------------------------------------------------------
+
+type vnode struct {
+	key, val uint64
+	mu       sync.Mutex
+	marked   vcas.Object[bool]
+	next     vcas.Object[*vnode]
+}
+
+func newVnode(key, val uint64, next *vnode) *vnode {
+	n := &vnode{key: key, val: val}
+	n.marked.Init(false)
+	n.next.Init(next)
+	return n
+}
+
+// VcasList is the lazy list with versioned links and marks.
+type VcasList struct {
+	src  core.Source
+	reg  *core.Registry
+	head *vnode
+}
+
+// NewVcas creates an empty vCAS lazy list.
+func NewVcas(src core.Source, reg *core.Registry) *VcasList {
+	return &VcasList{src: src, reg: reg, head: newVnode(0, 0, nil)}
+}
+
+// Source returns the list's timestamp source.
+func (t *VcasList) Source() core.Source { return t.src }
+
+func (t *VcasList) find(key uint64) (pred, cur *vnode) {
+	pred = t.head
+	cur = pred.next.Read(t.src)
+	for cur != nil && cur.key < key {
+		pred = cur
+		cur = cur.next.Read(t.src)
+	}
+	return pred, cur
+}
+
+// Contains reports whether key is present.
+func (t *VcasList) Contains(_ *core.Thread, key uint64) bool {
+	_, cur := t.find(key)
+	return cur != nil && cur.key == key && !cur.marked.Read(t.src)
+}
+
+// Get returns the value stored at key.
+func (t *VcasList) Get(th *core.Thread, key uint64) (uint64, bool) {
+	_, cur := t.find(key)
+	if cur == nil || cur.key != key || cur.marked.Read(t.src) {
+		return 0, false
+	}
+	return cur.val, true
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
+	if key == 0 || key > MaxKey {
+		return false
+	}
+	for {
+		pred, cur := t.find(key)
+		if cur != nil && cur.key == key && !cur.marked.Read(t.src) {
+			return false
+		}
+		if cur != nil && cur.key == key {
+			continue // marked; wait for unlink
+		}
+		pred.mu.Lock()
+		if pred.marked.Read(t.src) || pred.next.Read(t.src) != cur {
+			pred.mu.Unlock()
+			continue
+		}
+		pred.next.Write(t.src, newVnode(key, val, cur))
+		t.maybeTruncate(pred, key)
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
+	for {
+		pred, cur := t.find(key)
+		if cur == nil || cur.key != key {
+			return false
+		}
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if pred.marked.Read(t.src) || pred.next.Read(t.src) != cur {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		if cur.marked.Read(t.src) {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			return false
+		}
+		cur.marked.Write(t.src, true) // linearization
+		pred.next.Write(t.src, cur.next.Read(t.src))
+		t.maybeTruncate(pred, key)
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+func (t *VcasList) maybeTruncate(n *vnode, key uint64) {
+	if key%64 == 0 {
+		min := t.reg.MinActiveRQ()
+		n.next.Truncate(min)
+		n.marked.Truncate(min)
+	}
+}
+
+// RangeQuery appends every pair in [lo,hi] as of one snapshot (vCAS
+// style: the query advances the camera).
+func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	s := t.src.Snapshot()
+	th.AnnounceRQ(s)
+	cur, _ := t.head.next.ReadVersion(t.src, s)
+	for cur != nil && cur.key <= hi {
+		if cur.key >= lo {
+			if m, ok := cur.marked.ReadVersion(t.src, s); ok && !m {
+				out = append(out, core.KV{Key: cur.key, Val: cur.val})
+			}
+		}
+		cur, _ = cur.next.ReadVersion(t.src, s)
+	}
+	th.DoneRQ()
+	return out
+}
+
+// Len counts present keys; quiescent use only.
+func (t *VcasList) Len() int {
+	n := 0
+	for cur := t.head.next.Read(t.src); cur != nil; cur = cur.next.Read(t.src) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package lazylist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tscds/internal/core"
+)
+
+type listLike interface {
+	Insert(th *core.Thread, key, val uint64) bool
+	Delete(th *core.Thread, key uint64) bool
+	Contains(th *core.Thread, key uint64) bool
+	Get(th *core.Thread, key uint64) (uint64, bool)
+	RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV
+	Len() int
+}
+
+func variants() map[string]func(core.Kind, int) (listLike, *core.Registry) {
+	return map[string]func(core.Kind, int) (listLike, *core.Registry){
+		"bundle": func(k core.Kind, n int) (listLike, *core.Registry) {
+			reg := core.NewRegistry(n)
+			return NewBundle(core.New(k), reg), reg
+		},
+		"vcas": func(k core.Kind, n int) (listLike, *core.Registry) {
+			reg := core.NewRegistry(n)
+			return NewVcas(core.New(k), reg), reg
+		},
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 2)
+			th := reg.MustRegister()
+			if l.Contains(th, 3) || l.Delete(th, 3) {
+				t.Fatal("empty list misbehaved")
+			}
+			if !l.Insert(th, 3, 30) || l.Insert(th, 3, 31) {
+				t.Fatal("insert semantics")
+			}
+			if v, ok := l.Get(th, 3); !ok || v != 30 {
+				t.Fatalf("Get=(%d,%v)", v, ok)
+			}
+			if !l.Delete(th, 3) || l.Contains(th, 3) || l.Len() != 0 {
+				t.Fatal("delete semantics")
+			}
+			if l.Insert(th, 0, 1) {
+				t.Fatal("key 0 insertable")
+			}
+		})
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.Logical, 1)
+			th := reg.MustRegister()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(21))
+			for i := 0; i < 8000; i++ {
+				k := uint64(rng.Intn(150) + 1)
+				switch rng.Intn(4) {
+				case 0, 1:
+					_, exists := model[k]
+					if got := l.Insert(th, k, k*2); got == exists {
+						t.Fatalf("Insert(%d)=%v exists=%v", k, got, exists)
+					}
+					if !exists {
+						model[k] = k * 2
+					}
+				case 2:
+					_, exists := model[k]
+					if got := l.Delete(th, k); got != exists {
+						t.Fatalf("Delete(%d)=%v exists=%v", k, got, exists)
+					}
+					delete(model, k)
+				default:
+					_, exists := model[k]
+					if got := l.Contains(th, k); got != exists {
+						t.Fatalf("Contains(%d)=%v want %v", k, got, exists)
+					}
+				}
+			}
+			got := l.RangeQuery(th, 1, MaxKey, nil)
+			if len(got) != len(model) || l.Len() != len(model) {
+				t.Fatalf("range=%d Len=%d model=%d", len(got), l.Len(), len(model))
+			}
+			for _, kv := range got {
+				if v, ok := model[kv.Key]; !ok || v != kv.Val {
+					t.Fatalf("kv %v vs model", kv)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeSorted(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 1)
+			th := reg.MustRegister()
+			for _, k := range []uint64{50, 10, 30, 20, 40} {
+				l.Insert(th, k, k)
+			}
+			got := l.RangeQuery(th, 15, 45, nil)
+			want := []uint64{20, 30, 40}
+			if len(got) != len(want) {
+				t.Fatalf("range=%v", got)
+			}
+			for i := range want {
+				if got[i].Key != want[i] {
+					t.Fatalf("range=%v want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentStripedAndPrefix(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 4)
+			const n = 1200
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					l.Insert(th, k, k)
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for {
+					got := l.RangeQuery(th, 1, n, nil)
+					for i, kv := range got {
+						if kv.Key != uint64(i+1) {
+							t.Errorf("snapshot gap at %d: %d", i, kv.Key)
+							return
+						}
+					}
+					if len(got) == n {
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 8)
+			const gs = 4
+			var ins, del [gs]int
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := reg.MustRegister()
+					defer th.Release()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < 1200; i++ {
+						k := uint64(rng.Intn(25) + 1)
+						if rng.Intn(2) == 0 {
+							if l.Insert(th, k, k) {
+								ins[g]++
+							}
+						} else if l.Delete(th, k) {
+							del[g]++
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			ti, td := 0, 0
+			for g := range ins {
+				ti += ins[g]
+				td += del[g]
+			}
+			if got := l.Len(); got != ti-td {
+				t.Fatalf("Len=%d inserts-deletes=%d", got, ti-td)
+			}
+		})
+	}
+}
+
+func TestGetSemantics(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 1)
+			th := reg.MustRegister()
+			if _, ok := l.Get(th, 9); ok {
+				t.Fatal("Get on empty list")
+			}
+			l.Insert(th, 9, 90)
+			if v, ok := l.Get(th, 9); !ok || v != 90 {
+				t.Fatalf("Get = (%d,%v)", v, ok)
+			}
+			l.Delete(th, 9)
+			if _, ok := l.Get(th, 9); ok {
+				t.Fatal("Get after delete")
+			}
+		})
+	}
+}
+
+func TestRangeBoundsClamped(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.Logical, 1)
+			th := reg.MustRegister()
+			l.Insert(th, 1, 1)
+			l.Insert(th, MaxKey, 2)
+			got := l.RangeQuery(th, 0, ^uint64(0), nil)
+			if len(got) != 2 {
+				t.Fatalf("clamped full range = %v", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,471 @@
+package lfbst
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"tscds/internal/core"
+)
+
+func newTree(kind core.Kind, threads int) (*Tree, *core.Registry) {
+	reg := core.NewRegistry(threads)
+	return New(core.New(kind), reg), reg
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, reg := newTree(core.Logical, 1)
+	th := reg.MustRegister()
+	if tr.Contains(th, 5) {
+		t.Fatal("empty tree contains 5")
+	}
+	if _, ok := tr.Get(th, 5); ok {
+		t.Fatal("empty tree Get(5) ok")
+	}
+	if tr.Delete(th, 5) {
+		t.Fatal("empty tree Delete(5) true")
+	}
+	if got := tr.RangeQuery(th, 0, MaxKey, nil); len(got) != 0 {
+		t.Fatalf("empty tree range = %v", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", tr.Len())
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	tr, reg := newTree(core.Logical, 1)
+	th := reg.MustRegister()
+	if !tr.Insert(th, 10, 100) {
+		t.Fatal("insert 10 failed")
+	}
+	if tr.Insert(th, 10, 200) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := tr.Get(th, 10); !ok || v != 100 {
+		t.Fatalf("Get(10) = (%d,%v)", v, ok)
+	}
+	if !tr.Delete(th, 10) {
+		t.Fatal("delete 10 failed")
+	}
+	if tr.Contains(th, 10) {
+		t.Fatal("10 present after delete")
+	}
+	if tr.Delete(th, 10) {
+		t.Fatal("second delete succeeded")
+	}
+}
+
+func TestSentinelKeysRejected(t *testing.T) {
+	tr, reg := newTree(core.Logical, 1)
+	th := reg.MustRegister()
+	for _, k := range []uint64{MaxKey + 1, MaxKey + 2} {
+		if tr.Insert(th, k, 1) {
+			t.Fatalf("insert of sentinel key %d succeeded", k)
+		}
+		if tr.Delete(th, k) {
+			t.Fatalf("delete of sentinel key %d succeeded", k)
+		}
+	}
+	if !tr.Insert(th, MaxKey, 1) {
+		t.Fatal("MaxKey must be insertable")
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	tr, reg := newTree(core.TSC, 1)
+	th := reg.MustRegister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			_, exists := model[k]
+			if got := tr.Insert(th, k, k*7); got == exists {
+				t.Fatalf("op %d: Insert(%d) = %v, model exists = %v", i, k, got, exists)
+			}
+			if !exists {
+				model[k] = k * 7
+			}
+		case 1:
+			_, exists := model[k]
+			if got := tr.Delete(th, k); got != exists {
+				t.Fatalf("op %d: Delete(%d) = %v, model exists = %v", i, k, got, exists)
+			}
+			delete(model, k)
+		case 2:
+			_, exists := model[k]
+			if got := tr.Contains(th, k); got != exists {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, exists)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+	}
+	got := tr.RangeQuery(th, 0, MaxKey, nil)
+	if len(got) != len(model) {
+		t.Fatalf("range returned %d keys, model has %d", len(got), len(model))
+	}
+	for _, kv := range got {
+		if v, ok := model[kv.Key]; !ok || v != kv.Val {
+			t.Fatalf("range kv %v disagrees with model (%d,%v)", kv, v, ok)
+		}
+	}
+}
+
+func TestRangeQueryBounds(t *testing.T) {
+	tr, reg := newTree(core.Logical, 1)
+	th := reg.MustRegister()
+	for k := uint64(10); k <= 100; k += 10 {
+		tr.Insert(th, k, k)
+	}
+	keys := func(lo, hi uint64) []uint64 {
+		var ks []uint64
+		for _, kv := range tr.RangeQuery(th, lo, hi, nil) {
+			ks = append(ks, kv.Key)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		return ks
+	}
+	if got := keys(10, 10); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("point range = %v", got)
+	}
+	if got := keys(11, 19); len(got) != 0 {
+		t.Fatalf("gap range = %v", got)
+	}
+	if got := keys(0, MaxKey); len(got) != 10 {
+		t.Fatalf("full range = %v", got)
+	}
+	if got := keys(35, 75); len(got) != 4 {
+		t.Fatalf("mid range = %v, want 40..70", got)
+	}
+}
+
+func TestRangeQueryReuseBuffer(t *testing.T) {
+	tr, reg := newTree(core.Logical, 1)
+	th := reg.MustRegister()
+	for k := uint64(1); k <= 5; k++ {
+		tr.Insert(th, k, k)
+	}
+	buf := make([]core.KV, 0, 16)
+	got := tr.RangeQuery(th, 1, 5, buf)
+	if len(got) != 5 {
+		t.Fatalf("got %d", len(got))
+	}
+	got2 := tr.RangeQuery(th, 2, 4, got[:0])
+	if len(got2) != 3 {
+		t.Fatalf("reused buffer got %d", len(got2))
+	}
+}
+
+func TestConcurrentStripedInsertDelete(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		tr, reg := newTree(kind, 8)
+		const gs = 4
+		const per = 1500
+		var wg sync.WaitGroup
+		for g := 0; g < gs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				base := uint64(g * 1_000_000)
+				for i := uint64(0); i < per; i++ {
+					if !tr.Insert(th, base+i, i) {
+						t.Errorf("stripe %d: insert %d failed", g, i)
+						return
+					}
+				}
+				for i := uint64(0); i < per; i += 2 {
+					if !tr.Delete(th, base+i) {
+						t.Errorf("stripe %d: delete %d failed", g, i)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if n := tr.Len(); n != gs*per/2 {
+			t.Fatalf("%v: Len = %d, want %d", kind, n, gs*per/2)
+		}
+		th := reg.MustRegister()
+		for g := 0; g < gs; g++ {
+			base := uint64(g * 1_000_000)
+			for i := uint64(0); i < per; i++ {
+				want := i%2 == 1
+				if got := tr.Contains(th, base+i); got != want {
+					t.Fatalf("%v: Contains(%d) = %v, want %v", kind, base+i, got, want)
+				}
+			}
+		}
+		th.Release()
+	}
+}
+
+// Contended single-key hammering: all threads fight over few keys; the
+// tree must stay consistent and ops must keep their exact semantics.
+func TestConcurrentContendedOps(t *testing.T) {
+	tr, reg := newTree(core.TSC, 8)
+	var inserted, deleted [8]int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				k := uint64(rng.Intn(8))
+				if rng.Intn(2) == 0 {
+					if tr.Insert(th, k, k) {
+						inserted[g]++
+					}
+				} else {
+					if tr.Delete(th, k) {
+						deleted[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ins, del := 0, 0
+	for g := 0; g < 8; g++ {
+		ins += inserted[g]
+		del += deleted[g]
+	}
+	if got := tr.Len(); got != ins-del {
+		t.Fatalf("Len = %d, successful inserts %d - deletes %d = %d", got, ins, del, ins-del)
+	}
+}
+
+// The central linearizability check: a single writer inserts ascending
+// keys, so every consistent snapshot is a prefix. Any gap means the
+// range query mixed two points in time.
+func TestSnapshotIsPrefixDuringAscendingInserts(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr, reg := newTree(kind, 4)
+			const n = 6000
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					tr.Insert(th, k, k)
+				}
+			}()
+			reader := func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				buf := make([]core.KV, 0, n)
+				for {
+					got := tr.RangeQuery(th, 1, n, buf[:0])
+					keys := make([]uint64, len(got))
+					for i, kv := range got {
+						keys[i] = kv.Key
+					}
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+					for i, k := range keys {
+						if k != uint64(i+1) {
+							t.Errorf("snapshot not a prefix: position %d holds %d", i, k)
+							return
+						}
+					}
+					if len(keys) == n {
+						return
+					}
+				}
+			}
+			wg.Add(2)
+			go reader()
+			go reader()
+			wg.Wait()
+		})
+	}
+}
+
+// Mirror image: a single writer deletes ascending keys from a full tree,
+// so every consistent snapshot is a suffix.
+func TestSnapshotIsSuffixDuringAscendingDeletes(t *testing.T) {
+	tr, reg := newTree(core.TSC, 4)
+	const n = 5000
+	{
+		th := reg.MustRegister()
+		for k := uint64(1); k <= n; k++ {
+			tr.Insert(th, k, k)
+		}
+		th.Release()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for k := uint64(1); k <= n; k++ {
+			tr.Delete(th, k)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		buf := make([]core.KV, 0, n)
+		for {
+			got := tr.RangeQuery(th, 1, n, buf[:0])
+			if len(got) == 0 {
+				return
+			}
+			keys := make([]uint64, len(got))
+			for i, kv := range got {
+				keys[i] = kv.Key
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			first := keys[0]
+			for i, k := range keys {
+				if k != first+uint64(i) {
+					t.Errorf("snapshot not a suffix: %d at offset %d from %d", k, i, first)
+					return
+				}
+			}
+			if keys[len(keys)-1] != n {
+				t.Errorf("suffix missing tail: ends at %d", keys[len(keys)-1])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// Two writers on disjoint stripes: a snapshot projected onto each stripe
+// must be a prefix of that stripe, independently.
+func TestSnapshotPerStripePrefix(t *testing.T) {
+	tr, reg := newTree(core.TSC, 4)
+	const n = 3000
+	var wg sync.WaitGroup
+	writer := func(stripe uint64) {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for k := uint64(1); k <= n; k++ {
+			tr.Insert(th, k*2+stripe, k)
+		}
+	}
+	wg.Add(2)
+	go writer(0)
+	go writer(1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for round := 0; ; round++ {
+			got := tr.RangeQuery(th, 0, MaxKey, nil)
+			var even, odd []uint64
+			for _, kv := range got {
+				if kv.Key%2 == 0 {
+					even = append(even, kv.Key/2)
+				} else {
+					odd = append(odd, kv.Key/2)
+				}
+			}
+			for _, stripe := range [][]uint64{even, odd} {
+				sort.Slice(stripe, func(i, j int) bool { return stripe[i] < stripe[j] })
+				for i, k := range stripe {
+					if k != uint64(i+1) {
+						t.Errorf("stripe snapshot not a prefix at %d: %v...", i, k)
+						return
+					}
+				}
+			}
+			if len(even) == n && len(odd) == n {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// Version chains must stay bounded when no range queries are active.
+func TestVersionChainsBounded(t *testing.T) {
+	tr, reg := newTree(core.Logical, 2)
+	th := reg.MustRegister()
+	// Hammer one key region so the same objects get many versions. Keys
+	// are multiples of 64 so maybeTruncate actually fires.
+	for i := 0; i < 20000; i++ {
+		tr.Insert(th, 64, 1)
+		tr.Delete(th, 64)
+	}
+	maxChain := 0
+	var walk func(*node)
+	walk = func(x *node) {
+		if x == nil || x.leaf {
+			return
+		}
+		if n := x.left.ChainLen(); n > maxChain {
+			maxChain = n
+		}
+		if n := x.right.ChainLen(); n > maxChain {
+			maxChain = n
+		}
+		walk(x.left.Read(tr.src))
+		walk(x.right.Read(tr.src))
+	}
+	walk(tr.root)
+	if maxChain > 1000 {
+		t.Fatalf("version chain grew unbounded: %d entries", maxChain)
+	}
+}
+
+// Structural invariant: the external BST ordering property holds after a
+// concurrent workload (left subtree < node key <= right subtree).
+func TestBSTInvariantAfterStress(t *testing.T) {
+	tr, reg := newTree(core.TSC, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(g * 77)))
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.Intn(2000))
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(th, k, k)
+				case 1:
+					tr.Delete(th, k)
+				default:
+					tr.Contains(th, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var check func(x *node, lo, hi uint64)
+	check = func(x *node, lo, hi uint64) {
+		if x == nil {
+			return
+		}
+		if x.key < lo || x.key > hi {
+			t.Fatalf("key %d outside routing bounds [%d,%d]", x.key, lo, hi)
+		}
+		if x.leaf {
+			return
+		}
+		check(x.left.Read(tr.src), lo, x.key-1)
+		check(x.right.Read(tr.src), x.key, hi)
+	}
+	check(tr.root, 0, inf2)
+}

@@ -1,0 +1,357 @@
+package lfbst
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"tscds/internal/core"
+)
+
+func newNMTree(kind core.Kind, threads int) (*NMTree, *core.Registry) {
+	reg := core.NewRegistry(threads)
+	return NewNM(core.New(kind), reg), reg
+}
+
+func TestNMBasicOps(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		tr, reg := newNMTree(kind, 2)
+		th := reg.MustRegister()
+		if tr.Contains(th, 5) || tr.Delete(th, 5) || tr.Len() != 0 {
+			t.Fatal("empty tree misbehaved")
+		}
+		if !tr.Insert(th, 5, 50) || tr.Insert(th, 5, 51) {
+			t.Fatal("insert semantics")
+		}
+		if v, ok := tr.Get(th, 5); !ok || v != 50 {
+			t.Fatalf("Get = (%d,%v)", v, ok)
+		}
+		if !tr.Delete(th, 5) || tr.Contains(th, 5) || tr.Delete(th, 5) {
+			t.Fatal("delete semantics")
+		}
+		if tr.Insert(th, MaxNMKey+1, 1) {
+			t.Fatal("sentinel key insertable")
+		}
+		if !tr.Insert(th, MaxNMKey, 1) || !tr.Delete(th, MaxNMKey) {
+			t.Fatal("MaxNMKey roundtrip failed")
+		}
+	}
+}
+
+func TestNMSequentialModel(t *testing.T) {
+	tr, reg := newNMTree(core.TSC, 1)
+	th := reg.MustRegister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0:
+			_, exists := model[k]
+			if got := tr.Insert(th, k, k*9); got == exists {
+				t.Fatalf("op %d: Insert(%d)=%v exists=%v", i, k, got, exists)
+			}
+			if !exists {
+				model[k] = k * 9
+			}
+		case 1:
+			_, exists := model[k]
+			if got := tr.Delete(th, k); got != exists {
+				t.Fatalf("op %d: Delete(%d)=%v exists=%v", i, k, got, exists)
+			}
+			delete(model, k)
+		default:
+			_, exists := model[k]
+			if got := tr.Contains(th, k); got != exists {
+				t.Fatalf("op %d: Contains(%d)=%v want %v", i, k, got, exists)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tr.Len(), len(model))
+	}
+	got := tr.RangeQuery(th, 0, MaxNMKey, nil)
+	if len(got) != len(model) {
+		t.Fatalf("range=%d model=%d", len(got), len(model))
+	}
+	for _, kv := range got {
+		if v, ok := model[kv.Key]; !ok || v != kv.Val {
+			t.Fatalf("kv %v vs model (%d,%v)", kv, v, ok)
+		}
+	}
+}
+
+func TestNMConcurrentStriped(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		tr, reg := newNMTree(kind, 8)
+		const gs = 4
+		const per = 1500
+		var wg sync.WaitGroup
+		for g := 0; g < gs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				base := uint64(g * 1_000_000)
+				for i := uint64(0); i < per; i++ {
+					if !tr.Insert(th, base+i, i) {
+						t.Errorf("insert %d failed", base+i)
+						return
+					}
+				}
+				for i := uint64(0); i < per; i += 2 {
+					if !tr.Delete(th, base+i) {
+						t.Errorf("delete %d failed", base+i)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if n := tr.Len(); n != gs*per/2 {
+			t.Fatalf("%v: Len=%d want %d", kind, n, gs*per/2)
+		}
+	}
+}
+
+// Contended deletes of the same keys: exactly one deleter may win each
+// key — the NM injection CAS is the arbiter.
+func TestNMContendedDeleteOnce(t *testing.T) {
+	tr, reg := newNMTree(core.TSC, 8)
+	const keys = 2000
+	{
+		th := reg.MustRegister()
+		perm := rand.New(rand.NewSource(2)).Perm(keys)
+		for _, i := range perm {
+			tr.Insert(th, uint64(i), 1)
+		}
+		th.Release()
+	}
+	const gs = 4
+	wins := make([]int, gs)
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			for k := uint64(0); k < keys; k++ {
+				if tr.Delete(th, k) {
+					wins[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != keys {
+		t.Fatalf("deletes won %d times for %d keys", total, keys)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d after deleting everything", tr.Len())
+	}
+}
+
+func TestNMContendedMixedAccounting(t *testing.T) {
+	tr, reg := newNMTree(core.TSC, 8)
+	const gs = 6
+	var ins, del [gs]int
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(g * 5)))
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.Intn(10))
+				if rng.Intn(2) == 0 {
+					if tr.Insert(th, k, k) {
+						ins[g]++
+					}
+				} else if tr.Delete(th, k) {
+					del[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ti, td := 0, 0
+	for g := range ins {
+		ti += ins[g]
+		td += del[g]
+	}
+	if got := tr.Len(); got != ti-td {
+		t.Fatalf("Len=%d inserts-deletes=%d", got, ti-td)
+	}
+}
+
+func TestNMSnapshotPrefix(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr, reg := newNMTree(kind, 4)
+			const n = 4000
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					tr.Insert(th, k, k)
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for {
+					got := tr.RangeQuery(th, 1, n, nil)
+					keys := make([]uint64, len(got))
+					for i, kv := range got {
+						keys[i] = kv.Key
+					}
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+					for i, k := range keys {
+						if k != uint64(i+1) {
+							t.Errorf("snapshot gap at %d: %d", i, k)
+							return
+						}
+					}
+					if len(keys) == n {
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestNMSnapshotSuffixDuringDeletes(t *testing.T) {
+	tr, reg := newNMTree(core.TSC, 4)
+	const n = 4000
+	{
+		th := reg.MustRegister()
+		perm := rand.New(rand.NewSource(8)).Perm(n)
+		for _, i := range perm {
+			tr.Insert(th, uint64(i+1), uint64(i+1))
+		}
+		th.Release()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for k := uint64(1); k <= n; k++ {
+			tr.Delete(th, k)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for {
+			got := tr.RangeQuery(th, 1, n, nil)
+			if len(got) == 0 {
+				return
+			}
+			keys := make([]uint64, len(got))
+			for i, kv := range got {
+				keys[i] = kv.Key
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for i, k := range keys {
+				if k != keys[0]+uint64(i) {
+					t.Errorf("snapshot not a suffix at %d: %d (first %d)", i, k, keys[0])
+					return
+				}
+			}
+			if keys[len(keys)-1] != n {
+				t.Errorf("suffix missing tail %d", keys[len(keys)-1])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNMVersionChainsBounded(t *testing.T) {
+	tr, reg := newNMTree(core.Logical, 2)
+	th := reg.MustRegister()
+	for i := 0; i < 20000; i++ {
+		tr.Insert(th, 64, 1)
+		tr.Delete(th, 64)
+	}
+	maxChain := 0
+	var walk func(*nmNode)
+	walk = func(x *nmNode) {
+		if x == nil || x.leaf {
+			return
+		}
+		for d := 0; d < 2; d++ {
+			if c := x.child[d].ChainLen(); c > maxChain {
+				maxChain = c
+			}
+		}
+		walk(x.child[0].Read(tr.src).n)
+		walk(x.child[1].Read(tr.src).n)
+	}
+	walk(tr.r)
+	if maxChain > 1000 {
+		t.Fatalf("edge version chain unbounded: %d", maxChain)
+	}
+}
+
+// Structural invariant after stress: external BST ordering.
+func TestNMInvariantAfterStress(t *testing.T) {
+	tr, reg := newNMTree(core.TSC, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(g * 3)))
+			for i := 0; i < 4000; i++ {
+				k := uint64(rng.Intn(1000))
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(th, k, k)
+				case 1:
+					tr.Delete(th, k)
+				default:
+					tr.Contains(th, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var check func(x *nmNode, lo, hi uint64)
+	check = func(x *nmNode, lo, hi uint64) {
+		if x == nil {
+			return
+		}
+		if x.key < lo || x.key > hi {
+			t.Fatalf("key %d outside [%d,%d]", x.key, lo, hi)
+		}
+		if x.leaf {
+			return
+		}
+		check(x.child[0].Read(tr.src).n, lo, x.key-1)
+		check(x.child[1].Read(tr.src).n, x.key, hi)
+	}
+	check(tr.r, 0, nmInf2)
+}

@@ -1,0 +1,60 @@
+// Package rcu is a userspace read-copy-update implementation in the
+// style of classic URCU (Desnoyers et al.): per-thread reader flags plus
+// a global grace-period counter. The Citrus tree (Arbel & Attiya, PPoPP
+// 2014) uses it so searches run without locks while deletions wait for
+// concurrent readers before unlinking a relocated successor.
+//
+// Read-side sections are wait-free (two padded atomic stores);
+// Synchronize spins until every reader that began before the grace
+// period has left its critical section.
+package rcu
+
+import (
+	"runtime"
+
+	"tscds/internal/core"
+)
+
+// RCU coordinates up to a fixed number of reader threads, indexed by
+// core.Thread.ID.
+type RCU struct {
+	// gp is the grace-period counter; always even when quiescent.
+	gp core.PaddedUint64
+	// readers[i] holds 0 when thread i is outside a read-side section,
+	// else the gp value it observed on entry with the low bit set.
+	readers []core.PaddedUint64
+}
+
+// New creates an RCU domain for maxThreads threads.
+func New(maxThreads int) *RCU {
+	r := &RCU{readers: make([]core.PaddedUint64, maxThreads)}
+	r.gp.Store(2)
+	return r
+}
+
+// ReadLock enters a read-side critical section for thread tid. Sections
+// do not nest (the data structures here never need nesting).
+func (r *RCU) ReadLock(tid int) {
+	r.readers[tid].Store(r.gp.Load() | 1)
+}
+
+// ReadUnlock leaves the read-side critical section.
+func (r *RCU) ReadUnlock(tid int) {
+	r.readers[tid].Store(0)
+}
+
+// Synchronize waits until every read-side critical section that was
+// running when it was called has completed. Readers that begin after the
+// grace period starts observe the new counter value and do not delay it.
+func (r *RCU) Synchronize() {
+	newGP := r.gp.Add(2)
+	for i := range r.readers {
+		for {
+			v := r.readers[i].Load()
+			if v&1 == 0 || v >= newGP {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}

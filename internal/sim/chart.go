@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatCSV renders a panel as CSV (threads column plus one column per
+// series), for piping into external plotting tools.
+func FormatCSV(p Panel) string {
+	var b strings.Builder
+	b.WriteString("threads")
+	for _, s := range p.Series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	for i, t := range p.Threads {
+		fmt.Fprintf(&b, "%d", t)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, ",%.3f", s.Mops[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// chartGlyphs mark the series in FormatChart, cycling if needed.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// FormatChart renders a panel as a rough ASCII line chart (throughput up,
+// thread count across), enough to eyeball the crossovers and cliffs the
+// paper's figures show without leaving the terminal.
+func FormatChart(p Panel, height int) string {
+	if height < 4 {
+		height = 10
+	}
+	maxV := 0.0
+	for _, s := range p.Series {
+		for _, v := range s.Mops {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		return "(no data)\n"
+	}
+	cols := len(p.Threads)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytesRepeat(' ', cols*4)
+	}
+	for si, s := range p.Series {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for i, v := range s.Mops {
+			row := height - 1 - int(math.Round(v/maxV*float64(height-1)))
+			grid[row][i*4+1] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s (%s)  y-max = %.1f Mops/s\n", p.ID, p.Workload, maxV)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.0f ", maxV)
+		} else if r == height-1 {
+			label = "      0 "
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", cols*4))
+	b.WriteString("\n         ")
+	for _, t := range p.Threads {
+		fmt.Fprintf(&b, "%-4d", t)
+	}
+	b.WriteString("\n")
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "         %c = %s\n", chartGlyphs[si%len(chartGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

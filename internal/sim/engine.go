@@ -1,0 +1,73 @@
+// Package sim is a discrete-event simulator of the paper's evaluation
+// machine (four-socket Intel Xeon Platinum 8160: 4 NUMA zones x 24 cores
+// x 2 hyperthreads), used to regenerate every figure's *shape* on hosts
+// that lack the hardware. It models the two first-order effects the paper
+// attributes its curves to:
+//
+//   - a contended cache line (the logical timestamp, or a lock word)
+//     serializes ownership transfers, with higher transfer costs across
+//     NUMA zones, while cached re-reads are nearly free; and
+//   - hardware timestamp reads are fixed-latency and core-local.
+//
+// Threads are closed-loop processes executing operation step programs
+// (local work, cache-line accesses, readers-writer lock sections, TSC
+// reads). Absolute throughputs are model outputs, not measurements; the
+// calibration constants live in machine.go and are documented in
+// EXPERIMENTS.md.
+package sim
+
+import "container/heap"
+
+// Engine is a minimal event-driven scheduler over simulated nanoseconds.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventHeap
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulated time in nanoseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute simulated time t (>= Now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delta nanoseconds from now.
+func (e *Engine) After(delta float64, fn func()) { e.At(e.now+delta, fn) }
+
+// Run processes events until the queue empties or time passes horizon.
+func (e *Engine) Run(horizon float64) {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		if ev.at > horizon {
+			e.now = horizon
+			return
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}

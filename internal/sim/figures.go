@@ -1,0 +1,145 @@
+package sim
+
+// Series is one curve in a panel: throughput (Mops/s) per thread count.
+type Series struct {
+	Name string
+	Mops []float64
+}
+
+// Panel is one subplot of a paper figure.
+type Panel struct {
+	ID       string // e.g. "2a"
+	Workload string // U-RQ-C label, or a description
+	Threads  []int
+	Series   []Series
+}
+
+// ThreadCounts is the sweep used for every simulated figure, following
+// the paper's x-axes up to 192 hyperthreads.
+var ThreadCounts = []int{1, 2, 4, 8, 16, 24, 48, 96, 144, 192}
+
+// simDuration is the simulated horizon per run (ns). Runs are
+// deterministic, so no repetition is needed.
+const simDuration = 300_000
+
+// sweep runs one arm across ThreadCounts.
+func sweep(m *Machine, build func() []OpSpec) []float64 {
+	out := make([]float64, len(ThreadCounts))
+	for i, n := range ThreadCounts {
+		out[i] = Run(m, Config{Threads: n, DurationNs: simDuration, Ops: build()})
+	}
+	return out
+}
+
+// Fig1WorkNs is the local work interleaved with timestamp acquisition in
+// Figure 1's bottom panel, calibrated so the model reproduces the text's
+// single-thread ordering (Logical ahead via caching) and its ~2.6x
+// RDTSCP advantage at 192 threads.
+const Fig1WorkNs = 5000
+
+// Figure1 regenerates both panels of Figure 1.
+func Figure1(m *Machine) []Panel {
+	kinds := []string{"Logical", "RDTSCP", "RDTSC-CPUID", "RDTSCP-nofence", "RDTSC-nofence"}
+	mk := func(id string, work float64) Panel {
+		p := Panel{ID: id, Workload: "timestamp acquisition", Threads: ThreadCounts}
+		if work > 0 {
+			p.Workload = "acquisition + local work"
+		}
+		for _, k := range kinds {
+			k := k
+			p.Series = append(p.Series, Series{
+				Name: k,
+				Mops: sweep(m, func() []OpSpec { return TimestampOps(m, k, work) }),
+			})
+		}
+		return p
+	}
+	return []Panel{mk("1-top", 0), mk("1-bottom", Fig1WorkNs)}
+}
+
+// rqPanels builds one panel per workload with logical/TSC series for
+// each listed (name, technique) arm on a structure.
+func rqPanels(m *Machine, figure string, structCost float64, hotLines int, arms []struct {
+	Name string
+	Tech Tech
+}, workloads []Workload) []Panel {
+	panels := make([]Panel, 0, len(workloads))
+	for i, wl := range workloads {
+		p := Panel{
+			ID:       figure + string(rune('a'+i)),
+			Workload: wl.String(),
+			Threads:  ThreadCounts,
+		}
+		for _, arm := range arms {
+			arm := arm
+			wl := wl
+			p.Series = append(p.Series,
+				Series{Name: arm.Name, Mops: sweep(m, func() []OpSpec {
+					return BuildOps(m, arm.Tech, false, structCost, wl, hotLines)
+				})},
+				Series{Name: arm.Name + "-RDTSCP", Mops: sweep(m, func() []OpSpec {
+					return BuildOps(m, arm.Tech, true, structCost, wl, hotLines)
+				})},
+			)
+		}
+		panels = append(panels, p)
+	}
+	return panels
+}
+
+// Figure2 regenerates vCAS on the lock-free BST (10 panels).
+func Figure2(m *Machine) []Panel {
+	workloads := []Workload{
+		{0, 10, 90}, {2, 10, 88}, {10, 10, 80}, {20, 10, 70},
+		{0, 20, 80}, {2, 20, 78}, {10, 20, 70}, {20, 20, 60},
+		{50, 10, 40}, {100, 0, 0},
+	}
+	return rqPanels(m, "2", CostBST, 0, []struct {
+		Name string
+		Tech Tech
+	}{{"vCAS", TechVcas}}, workloads)
+}
+
+// Figure3 regenerates vCAS and Bundling on the Citrus tree (6 panels).
+func Figure3(m *Machine) []Panel {
+	workloads := []Workload{
+		{0, 10, 90}, {2, 10, 88}, {10, 10, 80},
+		{20, 10, 70}, {50, 10, 40}, {90, 10, 0},
+	}
+	return rqPanels(m, "3", CostCitrus, 0, []struct {
+		Name string
+		Tech Tech
+	}{{"vCAS", TechVcas}, {"Bundle", TechBundle}}, workloads)
+}
+
+// Figure4 regenerates EBR-RQ on the Citrus tree (6 panels).
+func Figure4(m *Machine) []Panel {
+	workloads := []Workload{
+		{2, 10, 88}, {10, 10, 80}, {20, 10, 70},
+		{50, 10, 40}, {90, 10, 0}, {100, 0, 0},
+	}
+	return rqPanels(m, "4", CostCitrus, 0, []struct {
+		Name string
+		Tech Tech
+	}{{"EBR-RQ", TechEBR}}, workloads)
+}
+
+// Figure5 regenerates Bundling on the skip list (3 panels).
+func Figure5(m *Machine) []Panel {
+	workloads := []Workload{{10, 10, 80}, {50, 10, 40}, {90, 10, 0}}
+	return rqPanels(m, "5", CostSkip, SkipHotLines, []struct {
+		Name string
+		Tech Tech
+	}{{"Bundle", TechBundle}}, workloads)
+}
+
+// LazyListPanels regenerates the omitted negative result the paper
+// discusses: on a lazy list the O(n) traversal hides the timestamp
+// entirely, so TSC buys nothing.
+func LazyListPanels(m *Machine) []Panel {
+	workloads := []Workload{{10, 10, 80}}
+	return rqPanels(m, "L", CostLazy, 0, []struct {
+		Name string
+		Tech Tech
+	}{{"vCAS", TechVcas}, {"Bundle", TechBundle}}, workloads)
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatPanel renders a panel as an aligned text table (threads down,
+// series across, Mops/s cells).
+func FormatPanel(p Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s  (workload %s)\n", p.ID, p.Workload)
+	fmt.Fprintf(&b, "%8s", "threads")
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteString("\n")
+	for i, t := range p.Threads {
+		fmt.Fprintf(&b, "%8d", t)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, " %16.2f", s.Mops[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PanelSummary reports, for a two-series (or paired) panel, the speedup
+// of each "-RDTSCP" series over its logical twin at the highest thread
+// count — the number the paper quotes per figure.
+func PanelSummary(p Panel) string {
+	var b strings.Builder
+	last := len(p.Threads) - 1
+	byName := map[string][]float64{}
+	for _, s := range p.Series {
+		byName[s.Name] = s.Mops
+	}
+	for _, s := range p.Series {
+		base, ok := byName[strings.TrimSuffix(s.Name, "-RDTSCP")]
+		if !ok || !strings.HasSuffix(s.Name, "-RDTSCP") {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s %s: %.2fx at %d threads\n",
+			p.ID, s.Name, s.Mops[last]/base[last], p.Threads[last])
+	}
+	return b.String()
+}

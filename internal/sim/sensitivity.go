@@ -1,0 +1,128 @@
+package sim
+
+// Sensitivity analysis: how the headline reproduction ratios respond to
+// the calibration constants. This is how we argue the simulated shapes
+// are properties of the contention model rather than artifacts of one
+// parameter choice — the qualitative conclusions (who wins, where) must
+// hold across wide parameter ranges, and cmd/simstudy prints the sweeps.
+
+// Headline identifies one paper-claim ratio the model reproduces.
+type Headline struct {
+	Name  string
+	Claim string
+	// Eval computes the ratio on machine m.
+	Eval func(m *Machine) float64
+}
+
+// ratioAt computes hw/logical throughput at the top thread count.
+func ratioAt(m *Machine, build func(hw bool) []OpSpec, threads int) float64 {
+	lg := Run(m, Config{Threads: threads, DurationNs: simDuration, Ops: build(false)})
+	hw := Run(m, Config{Threads: threads, DurationNs: simDuration, Ops: build(true)})
+	return hw / lg
+}
+
+// Headlines returns the tracked paper claims.
+func Headlines() []Headline {
+	return []Headline{
+		{
+			Name:  "fig1-top@192",
+			Claim: ">= 95x (RDTSCP vs Logical, bare acquisition)",
+			Eval: func(m *Machine) float64 {
+				lg := Run(m, Config{Threads: 192, DurationNs: simDuration, Ops: TimestampOps(m, "Logical", 0)})
+				hw := Run(m, Config{Threads: 192, DurationNs: simDuration, Ops: TimestampOps(m, "RDTSCP", 0)})
+				return hw / lg
+			},
+		},
+		{
+			Name:  "fig1-bottom@192",
+			Claim: "~2.6x with interleaved work",
+			Eval: func(m *Machine) float64 {
+				lg := Run(m, Config{Threads: 192, DurationNs: simDuration, Ops: TimestampOps(m, "Logical", Fig1WorkNs)})
+				hw := Run(m, Config{Threads: 192, DurationNs: simDuration, Ops: TimestampOps(m, "RDTSCP", Fig1WorkNs)})
+				return hw / lg
+			},
+		},
+		{
+			Name:  "fig2e@192",
+			Claim: "~5.5x (vCAS BST, 0-20-80)",
+			Eval: func(m *Machine) float64 {
+				return ratioAt(m, func(hw bool) []OpSpec {
+					return BuildOps(m, TechVcas, hw, CostBST, Workload{0, 20, 80}, 0)
+				}, 192)
+			},
+		},
+		{
+			Name:  "fig4b@192",
+			Claim: "~1x (EBR-RQ keeps its lock)",
+			Eval: func(m *Machine) float64 {
+				return ratioAt(m, func(hw bool) []OpSpec {
+					return BuildOps(m, TechEBR, hw, CostCitrus, Workload{10, 10, 80}, 0)
+				}, 192)
+			},
+		},
+		{
+			Name:  "fig5c@192",
+			Claim: ">1.4x (skip list, update-heavy)",
+			Eval: func(m *Machine) float64 {
+				return ratioAt(m, func(hw bool) []OpSpec {
+					return BuildOps(m, TechBundle, hw, CostSkip, Workload{90, 10, 0}, SkipHotLines)
+				}, 192)
+			},
+		},
+	}
+}
+
+// Sweep is one calibration parameter to vary.
+type Sweep struct {
+	Name   string
+	Values []float64
+	Apply  func(m *Machine, v float64)
+}
+
+// Sweeps returns the default parameter sweeps around the calibrated
+// values (marked by PaperMachine's defaults).
+func Sweeps() []Sweep {
+	return []Sweep{
+		{
+			Name:   "LineCrossZone(ns)",
+			Values: []float64{60, 90, 120, 180, 240},
+			Apply:  func(m *Machine, v float64) { m.LineCrossZone = v },
+		},
+		{
+			Name:   "TSCFenced(ns)",
+			Values: []float64{10, 25, 40, 80},
+			Apply:  func(m *Machine, v float64) { m.TSCFenced = v },
+		},
+		{
+			Name:   "SMTPenalty",
+			Values: []float64{1.0, 1.2, 1.45, 1.8},
+			Apply:  func(m *Machine, v float64) { m.SMTPenalty = v },
+		},
+		{
+			Name:   "NUMAPenalty",
+			Values: []float64{1.0, 1.08, 1.25},
+			Apply:  func(m *Machine, v float64) { m.NUMAPenalty = v },
+		},
+	}
+}
+
+// SensitivityRow is one (parameter value, headline ratios) sample.
+type SensitivityRow struct {
+	Value  float64
+	Ratios []float64 // parallel to Headlines()
+}
+
+// RunSweep evaluates every headline across one parameter sweep.
+func RunSweep(sw Sweep, heads []Headline) []SensitivityRow {
+	rows := make([]SensitivityRow, 0, len(sw.Values))
+	for _, v := range sw.Values {
+		m := PaperMachine()
+		sw.Apply(m, v)
+		row := SensitivityRow{Value: v}
+		for _, h := range heads {
+			row.Ratios = append(row.Ratios, h.Eval(m))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

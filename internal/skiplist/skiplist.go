@@ -1,0 +1,348 @@
+// Package skiplist is a lock-based lazy skip list (Herlihy, Lev, Luchangco,
+// Shavit, "A simple optimistic skiplist algorithm", SIROCCO 2007)
+// augmented with bundled references on the bottom-level links — the
+// combination of the paper's Figure 5, where TSC helps only update-heavy
+// mixes because the skip list's own traversal, not the timestamp,
+// bounds read-heavy throughput.
+//
+// Linearization protocol. Every node carries an insertion timestamp and
+// a deletion timestamp in addition to its bundle entries:
+//
+//	its: Pending -> t   (assigned by the inserting op)
+//	dts: 0 -> Pending -> t  (0 = alive, Pending = delete claimed,
+//	                         t = delete linearized)
+//
+// Updates assign the node label BEFORE finalizing the bundle entries with
+// the same timestamp. Elemental reads treat a Pending label as "the
+// update has not linearized yet". This single-instant discipline keeps
+// contains and range queries mutually linearizable: once a range query
+// can observe an update through a finalized bundle entry, every later
+// contains observes its node label, and vice versa.
+package skiplist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tscds/internal/bundle"
+	"tscds/internal/core"
+)
+
+// maxLevel supports ~2^20 keys with p = 1/2.
+const maxLevel = 20
+
+// MaxKey is the largest insertable key.
+const MaxKey = ^uint64(0) - 2
+
+type node struct {
+	key, val    uint64
+	mu          sync.Mutex
+	fullyLinked atomic.Bool
+	its, dts    atomic.Uint64
+	topLevel    int // number of levels this node occupies (1..maxLevel)
+	next        []atomic.Pointer[node]
+	bnd         bundle.Bundle[node]
+}
+
+func newNode(key, val uint64, topLevel int) *node {
+	n := &node{key: key, val: val, topLevel: topLevel}
+	n.next = make([]atomic.Pointer[node], topLevel)
+	n.its.Store(uint64(core.Pending))
+	return n
+}
+
+// removable reports whether the node counts as logically present for
+// link validation (not deleted nor claimed by a deleter).
+func alive(n *node) bool { return n.dts.Load() == 0 }
+
+// List is the bundled skip list.
+type List struct {
+	src  core.Source
+	reg  *core.Registry
+	head *node
+	rngs []core.PaddedUint64 // per-thread xorshift state for level draws
+}
+
+// New creates an empty list over the given source and registry.
+func New(src core.Source, reg *core.Registry) *List {
+	head := newNode(0, 0, maxLevel)
+	head.its.Store(0)
+	head.fullyLinked.Store(true)
+	head.bnd.Init(nil)
+	return &List{
+		src:  src,
+		reg:  reg,
+		head: head,
+		rngs: make([]core.PaddedUint64, reg.Cap()),
+	}
+}
+
+// Source returns the list's timestamp source.
+func (t *List) Source() core.Source { return t.src }
+
+func (t *List) randLevel(tid int) int {
+	x := t.rngs[tid].Load()
+	if x == 0 {
+		x = uint64(tid)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.rngs[tid].Store(x)
+	lvl := 1
+	for x&1 == 1 && lvl < maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// find fills preds/succs per level and returns the highest level at
+// which key was found (-1 if absent). Head is below every key.
+func (t *List) find(key uint64, preds, succs *[maxLevel]*node) int {
+	lFound := -1
+	pred := t.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		cur := pred.next[l].Load()
+		for cur != nil && cur.key < key {
+			pred = cur
+			cur = cur.next[l].Load()
+		}
+		if lFound == -1 && cur != nil && cur.key == key {
+			lFound = l
+		}
+		preds[l] = pred
+		succs[l] = cur
+	}
+	return lFound
+}
+
+// Contains reports whether key is present. A node whose insertion label
+// is still pending has not linearized; a node whose deletion label is
+// claimed but unassigned still has.
+func (t *List) Contains(_ *core.Thread, key uint64) bool {
+	pred := t.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		cur := pred.next[l].Load()
+		for cur != nil && cur.key < key {
+			pred = cur
+			cur = cur.next[l].Load()
+		}
+		if cur != nil && cur.key == key {
+			if cur.its.Load() == uint64(core.Pending) {
+				return false // insert not yet linearized
+			}
+			d := cur.dts.Load()
+			return d == 0 || d == uint64(core.Pending)
+		}
+	}
+	return false
+}
+
+// Get returns the value stored at key.
+func (t *List) Get(th *core.Thread, key uint64) (uint64, bool) {
+	var preds, succs [maxLevel]*node
+	if l := t.find(key, &preds, &succs); l != -1 {
+		n := succs[l]
+		if n.its.Load() == uint64(core.Pending) {
+			return 0, false
+		}
+		if d := n.dts.Load(); d == 0 || d == uint64(core.Pending) {
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// lockPreds locks preds[0..top-1] bottom-up with duplicate elision and
+// returns an unlock function.
+func lockPreds(preds *[maxLevel]*node, top int) func() {
+	var locked [maxLevel]*node
+	n := 0
+	var prev *node
+	for l := 0; l < top; l++ {
+		if preds[l] != prev {
+			preds[l].mu.Lock()
+			locked[n] = preds[l]
+			n++
+			prev = preds[l]
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			locked[i].mu.Unlock()
+		}
+	}
+}
+
+// Insert adds key with val; it returns false if already present.
+func (t *List) Insert(th *core.Thread, key, val uint64) bool {
+	if key > MaxKey || key == 0 {
+		// 0 is the head sentinel's slot; the facade offsets keys.
+		return false
+	}
+	topLevel := t.randLevel(th.ID)
+	var preds, succs [maxLevel]*node
+	for {
+		if lFound := t.find(key, &preds, &succs); lFound != -1 {
+			f := succs[lFound]
+			// Wait out an in-flight insert label (a few instructions).
+			for f.its.Load() == uint64(core.Pending) {
+				runtime.Gosched()
+			}
+			if d := f.dts.Load(); d != 0 && d != uint64(core.Pending) {
+				continue // deleted; its unlink is imminent — retry
+			}
+			for !f.fullyLinked.Load() {
+				runtime.Gosched()
+			}
+			return false
+		}
+		unlock := lockPreds(&preds, topLevel)
+		valid := true
+		for l := 0; l < topLevel; l++ {
+			succ := succs[l]
+			if !alive(preds[l]) || preds[l].next[l].Load() != succ ||
+				(succ != nil && !alive(succ)) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			unlock()
+			continue
+		}
+		n := newNode(key, val, topLevel)
+		for l := 0; l < topLevel; l++ {
+			n.next[l].Store(succs[l])
+		}
+		eInit := n.bnd.InitPending(succs[0])
+		ePred := preds[0].bnd.Prepare(n)
+		preds[0].next[0].Store(n)
+		ts := t.src.Advance()
+		n.its.Store(ts) // label first: contains agrees with snapshots
+		preds[0].bnd.Finalize(ePred, ts)
+		n.bnd.Finalize(eInit, ts)
+		for l := 1; l < topLevel; l++ {
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		t.maybeTruncate(preds[0], key)
+		unlock()
+		return true
+	}
+}
+
+// Delete removes key; it returns false if absent.
+func (t *List) Delete(th *core.Thread, key uint64) bool {
+	var preds, succs [maxLevel]*node
+	lFound := t.find(key, &preds, &succs)
+	if lFound == -1 {
+		return false
+	}
+	victim := succs[lFound]
+	for victim.its.Load() == uint64(core.Pending) {
+		runtime.Gosched()
+	}
+	if !victim.fullyLinked.Load() || victim.topLevel != lFound+1 {
+		return false
+	}
+	victim.mu.Lock()
+	if victim.dts.Load() != 0 {
+		victim.mu.Unlock()
+		return false
+	}
+	victim.dts.Store(uint64(core.Pending)) // claim; not yet linearized
+	for {
+		unlock := lockPreds(&preds, victim.topLevel)
+		valid := true
+		for l := 0; l < victim.topLevel; l++ {
+			if !alive(preds[l]) || preds[l].next[l].Load() != victim {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			ePred := preds[0].bnd.Prepare(victim.next[0].Load())
+			ts := t.src.Advance()
+			victim.dts.Store(ts) // linearization of the delete
+			preds[0].bnd.Finalize(ePred, ts)
+			for l := victim.topLevel - 1; l >= 0; l-- {
+				preds[l].next[l].Store(victim.next[l].Load())
+			}
+			t.maybeTruncate(preds[0], key)
+			unlock()
+			victim.mu.Unlock()
+			return true
+		}
+		unlock()
+		t.find(key, &preds, &succs)
+	}
+}
+
+func (t *List) maybeTruncate(n *node, key uint64) {
+	if key%64 != 0 {
+		return
+	}
+	n.bnd.Truncate(t.reg.MinActiveRQ())
+}
+
+// visibleAt reports membership of n in the snapshot at bound s under the
+// its/dts protocol.
+func visibleAt(n *node, s core.TS) bool {
+	it := n.its.Load()
+	if it == uint64(core.Pending) || it > s {
+		return false
+	}
+	d := n.dts.Load()
+	return d == 0 || d == uint64(core.Pending) || d > s
+}
+
+// RangeQuery appends every pair with lo <= key <= hi as of one
+// linearizable snapshot. The upper levels (untimestamped) only position
+// the query near lo; the walk itself follows bottom-level bundles.
+func (t *List) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	th.BeginRQ()
+	s := t.src.Peek()
+	th.AnnounceRQ(s)
+
+	// Position via the current index, then verify the landing point was
+	// part of the snapshot; if not (inserted or deleted around s), fall
+	// back to the head, which is in every snapshot.
+	pred := t.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		cur := pred.next[l].Load()
+		for cur != nil && cur.key < lo {
+			pred = cur
+			cur = cur.next[l].Load()
+		}
+	}
+	if pred != t.head && !visibleAt(pred, s) {
+		pred = t.head
+	}
+	cur, ok := pred.bnd.PtrAt(s)
+	for ok && cur != nil && cur.key <= hi {
+		if cur.key >= lo {
+			out = append(out, core.KV{Key: cur.key, Val: cur.val})
+		}
+		cur, ok = cur.bnd.PtrAt(s)
+	}
+	th.DoneRQ()
+	return out
+}
+
+// Len counts present keys; quiescent use only (tests).
+func (t *List) Len() int {
+	n := 0
+	for cur := t.head.next[0].Load(); cur != nil; cur = cur.next[0].Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,669 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"tscds/internal/core"
+	"tscds/internal/ebrrq"
+)
+
+func newList(kind core.Kind, threads int) (*List, *core.Registry) {
+	reg := core.NewRegistry(threads)
+	return New(core.New(kind), reg), reg
+}
+
+func TestEmpty(t *testing.T) {
+	l, reg := newList(core.Logical, 1)
+	th := reg.MustRegister()
+	if l.Contains(th, 5) || l.Delete(th, 5) || l.Len() != 0 {
+		t.Fatal("empty list misbehaved")
+	}
+	if got := l.RangeQuery(th, 1, MaxKey, nil); len(got) != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	l, reg := newList(core.TSC, 1)
+	th := reg.MustRegister()
+	if !l.Insert(th, 5, 50) || l.Insert(th, 5, 51) {
+		t.Fatal("insert semantics")
+	}
+	if v, ok := l.Get(th, 5); !ok || v != 50 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if !l.Delete(th, 5) || l.Contains(th, 5) || l.Delete(th, 5) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestKeyZeroRejected(t *testing.T) {
+	l, reg := newList(core.Logical, 1)
+	th := reg.MustRegister()
+	if l.Insert(th, 0, 1) {
+		t.Fatal("key 0 (head sentinel) insertable")
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	l, reg := newList(core.TSC, 1)
+	th := reg.MustRegister()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 15000; i++ {
+		k := uint64(rng.Intn(400) + 1)
+		switch rng.Intn(4) {
+		case 0, 1:
+			_, exists := model[k]
+			if got := l.Insert(th, k, k+1); got == exists {
+				t.Fatalf("op %d: Insert(%d)=%v exists=%v", i, k, got, exists)
+			}
+			if !exists {
+				model[k] = k + 1
+			}
+		case 2:
+			_, exists := model[k]
+			if got := l.Delete(th, k); got != exists {
+				t.Fatalf("op %d: Delete(%d)=%v exists=%v", i, k, got, exists)
+			}
+			delete(model, k)
+		default:
+			_, exists := model[k]
+			if got := l.Contains(th, k); got != exists {
+				t.Fatalf("op %d: Contains(%d)=%v want %v", i, k, got, exists)
+			}
+		}
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", l.Len(), len(model))
+	}
+	got := l.RangeQuery(th, 1, MaxKey, nil)
+	if len(got) != len(model) {
+		t.Fatalf("range=%d model=%d", len(got), len(model))
+	}
+	for _, kv := range got {
+		if v, ok := model[kv.Key]; !ok || v != kv.Val {
+			t.Fatalf("kv %v model (%d,%v)", kv, v, ok)
+		}
+	}
+}
+
+func TestRangeQuerySortedAndBounded(t *testing.T) {
+	l, reg := newList(core.Logical, 1)
+	th := reg.MustRegister()
+	for k := uint64(10); k <= 200; k += 10 {
+		l.Insert(th, k, k)
+	}
+	got := l.RangeQuery(th, 35, 95, nil)
+	want := []uint64{40, 50, 60, 70, 80, 90}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i, kv := range got {
+		if kv.Key != want[i] {
+			t.Fatalf("range[%d] = %d, want %d (results must be sorted)", i, kv.Key, want[i])
+		}
+	}
+}
+
+func TestConcurrentStriped(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		l, reg := newList(kind, 8)
+		const gs = 4
+		const per = 1200
+		var wg sync.WaitGroup
+		for g := 0; g < gs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				base := uint64(g*100_000 + 1)
+				for i := uint64(0); i < per; i++ {
+					if !l.Insert(th, base+i, i) {
+						t.Errorf("insert %d failed", base+i)
+						return
+					}
+				}
+				for i := uint64(0); i < per; i += 2 {
+					if !l.Delete(th, base+i) {
+						t.Errorf("delete %d failed", base+i)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if n := l.Len(); n != gs*per/2 {
+			t.Fatalf("%v: Len=%d want %d", kind, n, gs*per/2)
+		}
+	}
+}
+
+func TestConcurrentContendedAccounting(t *testing.T) {
+	l, reg := newList(core.TSC, 8)
+	const gs = 4
+	var ins, del [gs]int
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := reg.MustRegister()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(g * 31)))
+			for i := 0; i < 2000; i++ {
+				k := uint64(rng.Intn(30) + 1)
+				if rng.Intn(2) == 0 {
+					if l.Insert(th, k, k) {
+						ins[g]++
+					}
+				} else if l.Delete(th, k) {
+					del[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ti, td := 0, 0
+	for g := range ins {
+		ti += ins[g]
+		td += del[g]
+	}
+	if got := l.Len(); got != ti-td {
+		t.Fatalf("Len=%d inserts-deletes=%d", got, ti-td)
+	}
+}
+
+func TestSnapshotPrefixDuringInserts(t *testing.T) {
+	for _, kind := range []core.Kind{core.Logical, core.TSC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			l, reg := newList(kind, 4)
+			const n = 4000
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					l.Insert(th, k, k)
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for {
+					got := l.RangeQuery(th, 1, n, nil)
+					for i, kv := range got {
+						if kv.Key != uint64(i+1) {
+							t.Errorf("snapshot gap: position %d holds %d", i, kv.Key)
+							return
+						}
+					}
+					if len(got) == n {
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestSnapshotSuffixDuringDeletes(t *testing.T) {
+	l, reg := newList(core.TSC, 4)
+	const n = 4000
+	{
+		th := reg.MustRegister()
+		for k := uint64(1); k <= n; k++ {
+			l.Insert(th, k, k)
+		}
+		th.Release()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for k := uint64(1); k <= n; k++ {
+			l.Delete(th, k)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		for {
+			got := l.RangeQuery(th, 1, n, nil)
+			if len(got) == 0 {
+				return
+			}
+			first := got[0].Key
+			for i, kv := range got {
+				if kv.Key != first+uint64(i) {
+					t.Errorf("snapshot not a suffix at %d: %d (first %d)", i, kv.Key, first)
+					return
+				}
+			}
+			if got[len(got)-1].Key != n {
+				t.Errorf("suffix truncated: ends at %d", got[len(got)-1].Key)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// Mid-range queries exercise the index-landing fallback while churn
+// deletes and reinserts keys around the range boundary.
+func TestMidRangeSnapshotUnderChurn(t *testing.T) {
+	l, reg := newList(core.TSC, 4)
+	const n = 2000
+	th0 := reg.MustRegister()
+	for k := uint64(1); k <= n; k++ {
+		l.Insert(th0, k, k)
+	}
+	th0.Release()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := reg.MustRegister()
+		defer th.Release()
+		rng := rand.New(rand.NewSource(17))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Churn odd keys near the range start so the landing pred
+			// is frequently deleted/reinserted.
+			k := uint64(rng.Intn(n) + 1)
+			if k%2 == 1 {
+				if l.Delete(th, k) {
+					l.Insert(th, k, k)
+				}
+			}
+		}
+	}()
+	th := reg.MustRegister()
+	for round := 0; round < 300; round++ {
+		lo := uint64(round%1500 + 1)
+		hi := lo + 100
+		got := l.RangeQuery(th, lo, hi, nil)
+		// Even keys are stable: each even key in [lo,hi] must appear
+		// exactly once, in order.
+		var evens []uint64
+		for _, kv := range got {
+			if kv.Key%2 == 0 {
+				evens = append(evens, kv.Key)
+			}
+		}
+		var want []uint64
+		for k := lo; k <= hi && k <= n; k++ {
+			if k%2 == 0 {
+				want = append(want, k)
+			}
+		}
+		if len(evens) != len(want) {
+			t.Fatalf("round %d [%d,%d]: stable keys %v, want %v", round, lo, hi, evens, want)
+		}
+		for i := range want {
+			if evens[i] != want[i] {
+				t.Fatalf("round %d: stable key mismatch %v vs %v", round, evens, want)
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+			t.Fatalf("round %d: unsorted snapshot %v", round, got)
+		}
+	}
+	th.Release()
+	close(stop)
+	wg.Wait()
+}
+
+func TestBundleHistoryBounded(t *testing.T) {
+	l, reg := newList(core.Logical, 2)
+	th := reg.MustRegister()
+	for i := 0; i < 30000; i++ {
+		l.Insert(th, 64, 1)
+		l.Delete(th, 64)
+	}
+	// The head's bundle absorbs entries for key 64's pred (which is
+	// head); truncation must keep it bounded.
+	if n := l.head.bnd.Len(); n > 1000 {
+		t.Fatalf("head bundle grew unbounded: %d entries", n)
+	}
+}
+
+func TestRandLevelDistribution(t *testing.T) {
+	l, reg := newList(core.Logical, 2)
+	_ = reg
+	counts := make([]int, maxLevel+1)
+	for i := 0; i < 100000; i++ {
+		lvl := l.randLevel(0)
+		if lvl < 1 || lvl > maxLevel {
+			t.Fatalf("level %d out of range", lvl)
+		}
+		counts[lvl]++
+	}
+	if counts[1] < 40000 || counts[1] > 60000 {
+		t.Fatalf("level-1 frequency %d not ~50%%", counts[1])
+	}
+	if counts[2] < 20000 || counts[2] > 30000 {
+		t.Fatalf("level-2 frequency %d not ~25%%", counts[2])
+	}
+}
+
+// ---- vCAS and EBR-RQ variants (the paper's omitted combinations) ----
+
+type anyList interface {
+	Insert(th *core.Thread, key, val uint64) bool
+	Delete(th *core.Thread, key uint64) bool
+	Contains(th *core.Thread, key uint64) bool
+	Get(th *core.Thread, key uint64) (uint64, bool)
+	RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV
+	Len() int
+}
+
+func allVariants(t *testing.T) map[string]func(core.Kind, int) (anyList, *core.Registry) {
+	t.Helper()
+	return map[string]func(core.Kind, int) (anyList, *core.Registry){
+		"bundle": func(k core.Kind, n int) (anyList, *core.Registry) {
+			reg := core.NewRegistry(n)
+			return New(core.New(k), reg), reg
+		},
+		"vcas": func(k core.Kind, n int) (anyList, *core.Registry) {
+			reg := core.NewRegistry(n)
+			return NewVcas(core.New(k), reg), reg
+		},
+		"ebr-lock": func(k core.Kind, n int) (anyList, *core.Registry) {
+			reg := core.NewRegistry(n)
+			l, err := NewEBR(core.New(k), reg, ebrrq.LockBased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l, reg
+		},
+		"ebr-lockfree": func(k core.Kind, n int) (anyList, *core.Registry) {
+			reg := core.NewRegistry(n)
+			l, err := NewEBR(core.New(core.Logical), reg, ebrrq.LockFree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l, reg
+		},
+	}
+}
+
+func TestVariantEBRRejectsLockFreeTSC(t *testing.T) {
+	reg := core.NewRegistry(1)
+	if _, err := NewEBR(core.New(core.TSC), reg, ebrrq.LockFree); err == nil {
+		t.Fatal("lock-free EBR-RQ skip list accepted TSC")
+	}
+}
+
+func TestVariantSequentialModel(t *testing.T) {
+	for name, mk := range allVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 2)
+			th := reg.MustRegister()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(33))
+			for i := 0; i < 10000; i++ {
+				k := uint64(rng.Intn(300) + 1)
+				switch rng.Intn(4) {
+				case 0, 1:
+					_, exists := model[k]
+					if got := l.Insert(th, k, k*5); got == exists {
+						t.Fatalf("op %d: Insert(%d)=%v exists=%v", i, k, got, exists)
+					}
+					if !exists {
+						model[k] = k * 5
+					}
+				case 2:
+					_, exists := model[k]
+					if got := l.Delete(th, k); got != exists {
+						t.Fatalf("op %d: Delete(%d)=%v exists=%v", i, k, got, exists)
+					}
+					delete(model, k)
+				default:
+					_, exists := model[k]
+					if got := l.Contains(th, k); got != exists {
+						t.Fatalf("op %d: Contains(%d)=%v want %v", i, k, got, exists)
+					}
+				}
+			}
+			if l.Len() != len(model) {
+				t.Fatalf("Len=%d model=%d", l.Len(), len(model))
+			}
+			got := l.RangeQuery(th, 1, MaxKey, nil)
+			if len(got) != len(model) {
+				t.Fatalf("range=%d model=%d", len(got), len(model))
+			}
+			for _, kv := range got {
+				if v, ok := model[kv.Key]; !ok || v != kv.Val {
+					t.Fatalf("kv %v vs model (%d,%v)", kv, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantConcurrentAccounting(t *testing.T) {
+	for name, mk := range allVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 8)
+			const gs = 4
+			var ins, del [gs]int
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := reg.MustRegister()
+					defer th.Release()
+					rng := rand.New(rand.NewSource(int64(g * 7)))
+					for i := 0; i < 1500; i++ {
+						k := uint64(rng.Intn(30) + 1)
+						if rng.Intn(2) == 0 {
+							if l.Insert(th, k, k) {
+								ins[g]++
+							}
+						} else if l.Delete(th, k) {
+							del[g]++
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			ti, td := 0, 0
+			for g := range ins {
+				ti += ins[g]
+				td += del[g]
+			}
+			if got := l.Len(); got != ti-td {
+				t.Fatalf("Len=%d inserts-deletes=%d", got, ti-td)
+			}
+		})
+	}
+}
+
+func TestVariantSnapshotPrefix(t *testing.T) {
+	for name, mk := range allVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 4)
+			const n = 2500
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					l.Insert(th, k, k)
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for {
+					got := l.RangeQuery(th, 1, n, nil)
+					keys := make([]uint64, len(got))
+					for i, kv := range got {
+						keys[i] = kv.Key
+					}
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+					for i, k := range keys {
+						if k != uint64(i+1) {
+							t.Errorf("snapshot gap at %d: %d", i, k)
+							return
+						}
+					}
+					if len(keys) == n {
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestVariantSnapshotSuffixDuringDeletes(t *testing.T) {
+	for name, mk := range allVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 4)
+			const n = 2000
+			{
+				th := reg.MustRegister()
+				perm := rand.New(rand.NewSource(9)).Perm(n)
+				for _, i := range perm {
+					l.Insert(th, uint64(i+1), uint64(i+1))
+				}
+				th.Release()
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for k := uint64(1); k <= n; k++ {
+					l.Delete(th, k)
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				for {
+					got := l.RangeQuery(th, 1, n, nil)
+					if len(got) == 0 {
+						return
+					}
+					keys := make([]uint64, len(got))
+					for i, kv := range got {
+						keys[i] = kv.Key
+					}
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+					for i, k := range keys {
+						if k != keys[0]+uint64(i) {
+							t.Errorf("snapshot not a suffix at %d: %d (first %d)", i, k, keys[0])
+							return
+						}
+					}
+					if keys[len(keys)-1] != n {
+						t.Errorf("suffix missing tail %d", keys[len(keys)-1])
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// Mid-range landings under churn for every variant: the index may land
+// on nodes outside the snapshot; each variant must recover (bundle:
+// pending-init detection; vcas: dead-at-s fallback; ebr: limbo scans).
+func TestVariantMidRangeUnderChurn(t *testing.T) {
+	for name, mk := range allVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			l, reg := mk(core.TSC, 4)
+			const n = 1500
+			th0 := reg.MustRegister()
+			for k := uint64(1); k <= n; k++ {
+				l.Insert(th0, k, k)
+			}
+			th0.Release()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := reg.MustRegister()
+				defer th.Release()
+				rng := rand.New(rand.NewSource(23))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := uint64(rng.Intn(n) + 1)
+					if k%2 == 1 {
+						if l.Delete(th, k) {
+							l.Insert(th, k, k)
+						}
+					}
+				}
+			}()
+			th := reg.MustRegister()
+			for round := 0; round < 200; round++ {
+				lo := uint64(round%1200 + 1)
+				hi := lo + 80
+				got := l.RangeQuery(th, lo, hi, nil)
+				seen := map[uint64]bool{}
+				evens := 0
+				for _, kv := range got {
+					if kv.Key < lo || kv.Key > hi {
+						t.Fatalf("round %d: key %d outside [%d,%d]", round, kv.Key, lo, hi)
+					}
+					if seen[kv.Key] {
+						t.Fatalf("round %d: duplicate key %d", round, kv.Key)
+					}
+					seen[kv.Key] = true
+					if kv.Key%2 == 0 {
+						evens++
+					}
+				}
+				want := 0
+				for k := lo; k <= hi && k <= n; k++ {
+					if k%2 == 0 {
+						want++
+					}
+				}
+				if evens != want {
+					t.Fatalf("round %d [%d,%d]: stable keys %d, want %d", round, lo, hi, evens, want)
+				}
+			}
+			th.Release()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Package tsc provides low-level access to the CPU's timestamp counter
+// (TSC) via the RDTSC and RDTSCP instructions, together with the fence
+// variants studied in the paper and feature detection for invariant TSC.
+//
+// On amd64 the five accessors map to real instruction sequences
+// (implemented in tsc_amd64.s):
+//
+//	ReadFenced        RDTSCP ; LFENCE        (the paper's recommended API)
+//	ReadCPUID         CPUID  ; RDTSC         (serializing, ~200 cycle cost)
+//	Read              RDTSC                  (no ordering guarantees)
+//	ReadP             RDTSCP                 (pseudo-serializing only)
+//	ReadWithCPU       RDTSCP ; LFENCE, also returning IA32_TSC_AUX (CPU id)
+//
+// On other architectures, or when invariant TSC is unavailable, all
+// accessors fall back to a monotonic nanosecond clock, which preserves the
+// two properties the algorithms need (monotonicity and cross-core
+// agreement) at a higher per-read cost.
+package tsc
+
+import "time"
+
+var start = time.Now()
+
+// Monotonic returns nanoseconds from an arbitrary process-local origin
+// using the runtime's monotonic clock. It is the portable fallback for
+// every TSC accessor and is also exposed directly so callers can choose
+// it explicitly (core.SourceMonotonic).
+func Monotonic() uint64 {
+	return uint64(time.Since(start))
+}
+
+// Supported reports whether the running CPU exposes a usable timestamp
+// counter: amd64 with the RDTSCP instruction available. Invariance is
+// reported separately by Invariant, since a constant-rate TSC is what
+// makes cross-core timestamp comparison sound.
+func Supported() bool { return supported() }
+
+// Invariant reports whether the CPU advertises invariant TSC
+// (CPUID.80000007H:EDX[8]), i.e. the counter increments at a constant
+// rate regardless of power states, keeping cores mutually synchronized.
+func Invariant() bool { return invariant() }
+
+// ReadFenced returns the TSC using RDTSCP followed by LFENCE — the
+// paper's hardware timestamp API (Listing 1). RDTSCP waits for all
+// preceding instructions to complete; the trailing LFENCE prevents
+// subsequent instructions (including memory accesses) from starting
+// before the counter is read.
+func ReadFenced() uint64 { return readFenced() }
+
+// ReadCPUID returns the TSC using CPUID followed by RDTSC. CPUID is a
+// fully serializing instruction, giving RDTSC the ordering guarantees it
+// lacks, at a cost of roughly two hundred cycles.
+func ReadCPUID() uint64 { return readCPUID() }
+
+// Read returns the TSC using a bare RDTSC, with no ordering guarantees.
+// Only safe when the surrounding algorithm provides its own
+// synchronization around the read.
+func Read() uint64 { return read() }
+
+// ReadP returns the TSC using a bare RDTSCP (pseudo-serializing: earlier
+// instructions complete first, but later ones may start early).
+func ReadP() uint64 { return readP() }
+
+// ReadWithCPU returns the fenced TSC value together with the contents of
+// IA32_TSC_AUX, which the OS conventionally initializes to the logical
+// CPU number; the fallback returns the monotonic clock and CPU 0.
+func ReadWithCPU() (ts uint64, cpu uint32) { return readWithCPU() }

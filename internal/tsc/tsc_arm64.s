@@ -1,0 +1,21 @@
+// ARM64 counter access. The paper (§II-A) notes ARM exposes a cycle
+// counter (PMCCNTR) analogous to TSC; PMCCNTR needs kernel enablement
+// for EL0, so we read the generic timer's virtual count CNTVCT_EL0,
+// which is architecturally constant-rate and synchronized across cores —
+// the two properties invariant TSC provides on x86. ISB provides the
+// ordering LFENCE gives on x86.
+
+#include "textflag.h"
+
+// func cntvct() uint64
+TEXT ·cntvct(SB), NOSPLIT, $0-8
+	ISB  $15
+	MRS  CNTVCT_EL0, R0
+	MOVD R0, ret+0(FP)
+	RET
+
+// func cntvctRaw() uint64
+TEXT ·cntvctRaw(SB), NOSPLIT, $0-8
+	MRS  CNTVCT_EL0, R0
+	MOVD R0, ret+0(FP)
+	RET

@@ -1,0 +1,321 @@
+package vcas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tscds/internal/core"
+)
+
+func sources() map[string]func() core.Source {
+	return map[string]func() core.Source{
+		"logical": func() core.Source { return core.New(core.Logical) },
+		"tsc":     func() core.Source { return core.New(core.TSC) },
+	}
+}
+
+func TestInitAndRead(t *testing.T) {
+	for name, mk := range sources() {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			o := New(42)
+			if got := o.Read(src); got != 42 {
+				t.Fatalf("Read = %d, want 42", got)
+			}
+			if o.Head().TS() != 0 {
+				t.Fatalf("initial version labeled %d, want 0", o.Head().TS())
+			}
+		})
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	for name, mk := range sources() {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			o := New(1)
+			if !o.CompareAndSwap(src, 1, 2) {
+				t.Fatal("CAS(1,2) failed")
+			}
+			if o.CompareAndSwap(src, 1, 3) {
+				t.Fatal("CAS(1,3) succeeded with stale expected value")
+			}
+			if got := o.Read(src); got != 2 {
+				t.Fatalf("Read = %d, want 2", got)
+			}
+		})
+	}
+}
+
+func TestVersionsLabeledAfterCAS(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(0)
+	for i := 1; i <= 5; i++ {
+		o.CompareAndSwap(src, i-1, i)
+	}
+	for v := o.Head(); v != nil; v = v.prev.Load() {
+		if v.TS() == core.Pending {
+			t.Fatal("reachable version left pending after CAS returned")
+		}
+	}
+}
+
+// Chain invariant: timestamps are non-increasing from head to tail.
+func TestChainMonotone(t *testing.T) {
+	for name, mk := range sources() {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			o := New(uint64(0))
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 2000; i++ {
+						cur := o.Read(src)
+						o.CompareAndSwap(src, cur, cur+1)
+					}
+				}()
+			}
+			wg.Wait()
+			prev := core.Pending
+			for v := o.Head(); v != nil; v = v.prev.Load() {
+				ts := v.TS()
+				if ts == core.Pending {
+					t.Fatal("pending version below head")
+				}
+				if ts > prev {
+					t.Fatalf("chain not monotone: %d above %d", prev, ts)
+				}
+				prev = ts
+			}
+		})
+	}
+}
+
+func TestReadVersionSequential(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(uint64(100))
+	type step struct {
+		snap core.TS
+		want uint64
+	}
+	var steps []step
+	steps = append(steps, step{src.Snapshot(), 100})
+	o.Write(src, 200) // labeled with Peek after the snapshot advance
+	steps = append(steps, step{src.Snapshot(), 200})
+	o.Write(src, 300)
+	steps = append(steps, step{src.Snapshot(), 300})
+	for i, st := range steps {
+		got, ok := o.ReadVersion(src, st.snap)
+		if !ok || got != st.want {
+			t.Fatalf("step %d: ReadVersion(%d) = (%d,%v), want %d", i, st.snap, got, ok, st.want)
+		}
+	}
+}
+
+// The closed-snapshot property that makes range queries linearizable:
+// once a snapshot bound is taken from a logical source, no later write
+// may become visible at that bound.
+func TestSnapshotClosedAgainstLaterWrites(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(uint64(1))
+	s := src.Snapshot()
+	o.Write(src, 2)
+	got, ok := o.ReadVersion(src, s)
+	if !ok || got != 1 {
+		t.Fatalf("snapshot at %d observed later write: got %d", s, got)
+	}
+}
+
+// Single ascending writer; concurrent snapshot readers must observe a
+// value that was current at some instant (monotone consistency): for
+// snapshots s1 <= s2, values v1 <= v2.
+func TestSnapshotMonotoneUnderConcurrency(t *testing.T) {
+	for name, mk := range sources() {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			o := New(uint64(0))
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := uint64(1); i <= 20000; i++ {
+					o.Write(src, i)
+				}
+			}()
+			var lastSnap core.TS
+			var lastVal uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := src.Snapshot()
+				v, ok := o.ReadVersion(src, s)
+				if !ok {
+					t.Fatal("ReadVersion found no version")
+				}
+				if s >= lastSnap && v < lastVal {
+					t.Fatalf("snapshots went backwards: (%d,%d) then (%d,%d)", lastSnap, lastVal, s, v)
+				}
+				lastSnap, lastVal = s, v
+			}
+		})
+	}
+}
+
+func TestConcurrentCASNoLostUpdates(t *testing.T) {
+	src := core.New(core.TSC)
+	o := New(uint64(0))
+	const gs = 8
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					cur := o.Read(src)
+					if o.CompareAndSwap(src, cur, cur+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Read(src); got != gs*per {
+		t.Fatalf("final = %d, want %d", got, gs*per)
+	}
+}
+
+func TestTruncateKeepsNeededVersion(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(uint64(0))
+	var snaps []core.TS
+	for i := uint64(1); i <= 20; i++ {
+		snaps = append(snaps, src.Snapshot())
+		o.Write(src, i)
+	}
+	before := o.ChainLen()
+	if before < 20 {
+		t.Fatalf("chain unexpectedly short: %d", before)
+	}
+	// Oldest active RQ is snaps[10]; truncating must preserve what that
+	// snapshot reads.
+	want, _ := o.ReadVersion(src, snaps[10])
+	o.Truncate(snaps[10])
+	after := o.ChainLen()
+	if after >= before {
+		t.Fatalf("truncate did not shrink chain: %d -> %d", before, after)
+	}
+	got, ok := o.ReadVersion(src, snaps[10])
+	if !ok || got != want {
+		t.Fatalf("truncate broke snapshot: got (%d,%v), want %d", got, ok, want)
+	}
+	// Newer snapshots unaffected.
+	if v, _ := o.ReadVersion(src, snaps[19]); v != 19 {
+		t.Fatalf("newest snapshot reads %d, want 19", v)
+	}
+}
+
+func TestTruncateNoActiveRQKeepsHeadOnly(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(uint64(0))
+	for i := uint64(1); i <= 10; i++ {
+		o.Write(src, i)
+	}
+	o.Truncate(core.Pending)
+	if n := o.ChainLen(); n != 1 {
+		t.Fatalf("chain length %d after full truncate, want 1", n)
+	}
+	if got := o.Read(src); got != 10 {
+		t.Fatalf("head value %d, want 10", got)
+	}
+}
+
+// Property: a randomly generated write history replayed sequentially is
+// fully recoverable via snapshots taken between writes.
+func TestHistoryRecoverableProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 50 {
+			vals = vals[:50]
+		}
+		src := core.New(core.Logical)
+		o := New(uint64(0))
+		var snaps []core.TS
+		for _, v := range vals {
+			o.Write(src, v)
+			snaps = append(snaps, src.Snapshot())
+		}
+		for i, s := range snaps {
+			got, ok := o.ReadVersion(src, s)
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCASLogical(b *testing.B) {
+	src := core.New(core.Logical)
+	o := New(uint64(0))
+	for i := 0; i < b.N; i++ {
+		o.CompareAndSwap(src, uint64(i), uint64(i+1))
+	}
+}
+
+func BenchmarkCASTSC(b *testing.B) {
+	src := core.New(core.TSC)
+	o := New(uint64(0))
+	for i := 0; i < b.N; i++ {
+		o.CompareAndSwap(src, uint64(i), uint64(i+1))
+	}
+}
+
+func TestNoOpWritesCreateNoVersions(t *testing.T) {
+	src := core.New(core.Logical)
+	o := New(uint64(5))
+	before := o.ChainLen()
+	o.Write(src, 5)                        // same value: no new version
+	if !o.CompareAndSwap(src, 5, 5) {      // CAS to same value succeeds
+		t.Fatal("CAS(5,5) failed")
+	}
+	if o.ChainLen() != before {
+		t.Fatalf("no-op writes grew the chain: %d -> %d", before, o.ChainLen())
+	}
+}
+
+func TestReadVersionBeforeObjectExists(t *testing.T) {
+	src := core.New(core.Logical)
+	// An object whose initial version is labeled with a real timestamp
+	// (not 0) reports no value for older snapshots.
+	o := &Object[uint64]{}
+	v := &Version[uint64]{val: 7}
+	v.ts.Store(src.Advance())
+	o.head.Store(v)
+	if _, ok := o.ReadVersion(src, 0); ok {
+		t.Fatal("snapshot before creation found a version")
+	}
+	if got, ok := o.ReadVersion(src, core.MaxTS); !ok || got != 7 {
+		t.Fatalf("current snapshot = (%d,%v)", got, ok)
+	}
+}
+
+func TestVersionAccessors(t *testing.T) {
+	o := New(uint64(3))
+	h := o.Head()
+	if h.Value() != 3 || h.TS() != 0 {
+		t.Fatalf("head accessors: val=%d ts=%d", h.Value(), h.TS())
+	}
+}

@@ -1,0 +1,369 @@
+// Package tscds reproduces "Opportunities and Limitations of Hardware
+// Timestamps in Concurrent Data Structures" (Grimes, Nelson-Slivon,
+// Hassan, Palmieri — IPPS 2023) as a Go library: concurrent ordered maps
+// with linearizable range queries, where the timestamp that synchronizes
+// range queries with updates is pluggable between a global logical
+// counter (the baseline) and the CPU's invariant TSC read with
+// RDTSCP;LFENCE (the paper's contribution).
+//
+// Three range-query techniques are provided over four structures:
+//
+//	Structure   vCAS   Bundle   EBR-RQ(lock)   EBR-RQ(lock-free)
+//	BST          x                  x             x (logical only)
+//	NMBST        x
+//	Citrus       x       x          x             x (logical only)
+//	SkipList     x       x          x             x (logical only)
+//	LazyList     x       x
+//
+// The skip list's vCAS and EBR-RQ pairings reproduce results the paper
+// built but omitted (no TSC gain was observed on them).
+//
+// Quickstart:
+//
+//	m, _ := tscds.New(tscds.BST, tscds.VCAS, tscds.Config{Source: tscds.TSC})
+//	th, _ := m.RegisterThread()           // one handle per goroutine
+//	m.Insert(th, 42, 420)
+//	kvs := m.RangeQuery(th, 0, 100, nil)  // linearizable snapshot
+//
+// The combination rules mirror the paper: vCAS targets lock-free
+// structures, bundles target lock-based ones, and lock-free EBR-RQ
+// cannot use hardware timestamps at all (its DCSS must validate the
+// timestamp at an address), which New reports as an error.
+package tscds
+
+import (
+	"fmt"
+	"sort"
+
+	"tscds/internal/citrus"
+	"tscds/internal/core"
+	"tscds/internal/ebrrq"
+	"tscds/internal/jiffy"
+	"tscds/internal/lazylist"
+	"tscds/internal/lfbst"
+	"tscds/internal/skiplist"
+	"tscds/internal/tsc"
+)
+
+// KV is a key-value pair returned by range queries.
+type KV = core.KV
+
+// Thread is a per-goroutine operation handle. Obtain one per worker
+// goroutine from Map.RegisterThread and Release it when done.
+type Thread = core.Thread
+
+// SourceKind selects the timestamp implementation.
+type SourceKind = core.Kind
+
+// Timestamp source kinds.
+const (
+	// Logical is the shared fetch-and-add counter (the baseline whose
+	// contention the paper measures).
+	Logical = core.Logical
+	// TSC is RDTSCP;LFENCE — the paper's hardware timestamp API.
+	TSC = core.TSC
+	// Monotonic is the portable fallback clock.
+	Monotonic = core.Monotonic
+)
+
+// Structure identifies a data structure.
+type Structure int
+
+// Structures evaluated in the paper (plus the lazy list it discusses).
+const (
+	// BST is the lock-free external binary search tree.
+	BST Structure = iota
+	// Citrus is the RCU-based internal BST with per-node locks.
+	Citrus
+	// SkipList is the lock-based lazy skip list.
+	SkipList
+	// LazyList is the lock-based sorted linked list.
+	LazyList
+	// NMBST is the Natarajan-Mittal edge-marked lock-free BST, the
+	// second lock-free tree the vCAS work targets.
+	NMBST
+)
+
+// String names the structure.
+func (s Structure) String() string {
+	switch s {
+	case BST:
+		return "lock-free BST"
+	case Citrus:
+		return "Citrus tree"
+	case SkipList:
+		return "skip list"
+	case LazyList:
+		return "lazy list"
+	case NMBST:
+		return "NM lock-free BST"
+	}
+	return "unknown"
+}
+
+// Technique identifies a range-query algorithm.
+type Technique int
+
+// Range-query techniques from the paper.
+const (
+	// VCAS is the versioned-CAS technique (Wei et al.).
+	VCAS Technique = iota
+	// Bundle is bundled references (Nelson et al.).
+	Bundle
+	// EBRRQ is the lock-based EBR-RQ (Arbel-Raviv & Brown).
+	EBRRQ
+	// EBRRQLockFree is the DCSS-based EBR-RQ; logical timestamps only.
+	EBRRQLockFree
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case VCAS:
+		return "vCAS"
+	case Bundle:
+		return "Bundle"
+	case EBRRQ:
+		return "EBR-RQ"
+	case EBRRQLockFree:
+		return "EBR-RQ (lock-free)"
+	}
+	return "unknown"
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Source selects the timestamp implementation (default Logical).
+	Source SourceKind
+	// MaxThreads bounds concurrent thread handles (default 256).
+	MaxThreads int
+}
+
+// Map is a concurrent ordered uint64->uint64 map with linearizable range
+// queries. All operations take the calling goroutine's Thread handle.
+type Map interface {
+	// RegisterThread allocates a handle; one per goroutine.
+	RegisterThread() (*Thread, error)
+	// Insert adds key; false if present.
+	Insert(th *Thread, key, val uint64) bool
+	// Delete removes key; false if absent.
+	Delete(th *Thread, key uint64) bool
+	// Contains reports presence.
+	Contains(th *Thread, key uint64) bool
+	// Get returns the value at key.
+	Get(th *Thread, key uint64) (uint64, bool)
+	// RangeQuery appends all pairs with lo <= key <= hi from one
+	// linearizable snapshot to buf and returns it.
+	RangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV
+	// Scan streams the same snapshot to fn in ascending key order;
+	// returning false stops early. The snapshot is still taken in full
+	// where the underlying technique requires it (EBR-RQ must scan
+	// limbo lists), so early exit is a convenience, not always a
+	// cost saving.
+	Scan(th *Thread, lo, hi uint64, fn func(KV) bool)
+	// Len counts keys; quiescent use only.
+	Len() int
+	// Structure and Technique identify the composition.
+	Structure() Structure
+	Technique() Technique
+	// Source reports the timestamp kind in use.
+	Source() SourceKind
+}
+
+// MaxKey is the largest key storable in every Map (a few top values are
+// reserved for sentinels across the structures).
+const MaxKey = ^uint64(0) - 8
+
+// Now returns the hardware timestamp via the paper's Listing-1 sequence
+// (RDTSCP;LFENCE), falling back to a monotonic clock off amd64.
+func Now() uint64 { return tsc.ReadFenced() }
+
+// TimestampSource is the paper's drop-in timestamp API: Advance obtains
+// a new timestamp (logical: fetch-and-add; hardware: a read) and Peek
+// reads the current one. See core.Source for the full contract.
+type TimestampSource = core.Source
+
+// NewTimestampSource builds a timestamp source of the given kind.
+func NewTimestampSource(k SourceKind) TimestampSource { return core.New(k) }
+
+// HardwareTimestampSupported reports whether this host has an invariant
+// TSC, the property required to compare timestamps across cores.
+func HardwareTimestampSupported() bool { return tsc.Supported() && tsc.Invariant() }
+
+// BatchOp is one element of a BatchStore batch.
+type BatchOp = jiffy.Op
+
+// BatchStore is the Jiffy-style multiversioned store (§III-A of the
+// paper): atomic multi-key batches and long-lived consistent snapshots
+// over strictly-increasing hardware-timestamp revisions.
+type BatchStore = jiffy.Map
+
+// BatchSnapshot is a long-lived consistent view of a BatchStore.
+type BatchSnapshot = jiffy.Snap
+
+// NewBatchStore builds a BatchStore. Thread handles come from the
+// returned registry accessor on the store's methods; see package jiffy.
+func NewBatchStore(cfg Config) (*BatchStore, *Registry) {
+	reg := core.NewRegistry(cfg.MaxThreads)
+	return jiffy.New(core.New(cfg.Source), reg), reg
+}
+
+// Registry hands out Thread handles for APIs constructed with an
+// explicit registry (NewBatchStore).
+type Registry = core.Registry
+
+// New builds a Map from a (structure, technique, source) combination,
+// rejecting combinations the paper shows are unsupported.
+func New(s Structure, t Technique, cfg Config) (Map, error) {
+	reg := core.NewRegistry(cfg.MaxThreads)
+	src := core.New(cfg.Source)
+	switch s {
+	case BST:
+		switch t {
+		case VCAS:
+			return &wrap{m: lfbst.New(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+		case EBRRQ, EBRRQLockFree:
+			variant := ebrrq.LockBased
+			if t == EBRRQLockFree {
+				variant = ebrrq.LockFree
+			}
+			m, err := lfbst.NewEBR(src, reg, variant)
+			if err != nil {
+				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+			}
+			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source}, nil
+		default:
+			return nil, fmt.Errorf("tscds: %v does not support %v", s, t)
+		}
+	case Citrus:
+		switch t {
+		case VCAS:
+			return &wrap{m: citrus.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+		case Bundle:
+			return &wrap{m: citrus.NewBundle(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+		case EBRRQ, EBRRQLockFree:
+			variant := ebrrq.LockBased
+			if t == EBRRQLockFree {
+				variant = ebrrq.LockFree
+			}
+			m, err := citrus.NewEBR(src, reg, variant)
+			if err != nil {
+				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+			}
+			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source}, nil
+		}
+	case SkipList:
+		switch t {
+		case Bundle:
+			return &wrap{m: skiplist.New(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+		case VCAS:
+			return &wrap{m: skiplist.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+		case EBRRQ, EBRRQLockFree:
+			variant := ebrrq.LockBased
+			if t == EBRRQLockFree {
+				variant = ebrrq.LockFree
+			}
+			m, err := skiplist.NewEBR(src, reg, variant)
+			if err != nil {
+				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+			}
+			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+		}
+	case LazyList:
+		switch t {
+		case VCAS:
+			return &wrap{m: lazylist.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+		case Bundle:
+			return &wrap{m: lazylist.NewBundle(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+		}
+	case NMBST:
+		if t != VCAS {
+			return nil, fmt.Errorf("tscds: %v supports only vCAS (got %v)", s, t)
+		}
+		return &wrap{m: lfbst.NewNM(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+	}
+	return nil, fmt.Errorf("tscds: unsupported combination %v/%v", s, t)
+}
+
+// inner is the shared surface of the internal structures.
+type inner interface {
+	Insert(th *core.Thread, key, val uint64) bool
+	Delete(th *core.Thread, key uint64) bool
+	Contains(th *core.Thread, key uint64) bool
+	Get(th *core.Thread, key uint64) (uint64, bool)
+	RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV
+	Len() int
+}
+
+// wrap adapts an internal structure to Map. shift offsets keys upward
+// for structures that reserve key 0 as their head sentinel.
+type wrap struct {
+	m     inner
+	reg   *core.Registry
+	s     Structure
+	t     Technique
+	src   SourceKind
+	shift uint64
+}
+
+func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
+
+func (w *wrap) Insert(th *Thread, key, val uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	return w.m.Insert(th, key+w.shift, val)
+}
+
+func (w *wrap) Delete(th *Thread, key uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	return w.m.Delete(th, key+w.shift)
+}
+
+func (w *wrap) Contains(th *Thread, key uint64) bool {
+	if key > MaxKey {
+		return false
+	}
+	return w.m.Contains(th, key+w.shift)
+}
+
+func (w *wrap) Get(th *Thread, key uint64) (uint64, bool) {
+	if key > MaxKey {
+		return 0, false
+	}
+	return w.m.Get(th, key+w.shift)
+}
+
+func (w *wrap) RangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV {
+	if lo > MaxKey {
+		return buf
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	base := len(buf)
+	buf = w.m.RangeQuery(th, lo+w.shift, hi+w.shift, buf)
+	if w.shift != 0 {
+		for i := base; i < len(buf); i++ {
+			buf[i].Key -= w.shift
+		}
+	}
+	return buf
+}
+
+func (w *wrap) Scan(th *Thread, lo, hi uint64, fn func(KV) bool) {
+	kvs := w.RangeQuery(th, lo, hi, nil)
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	for _, kv := range kvs {
+		if !fn(kv) {
+			return
+		}
+	}
+}
+
+func (w *wrap) Len() int             { return w.m.Len() }
+func (w *wrap) Structure() Structure { return w.s }
+func (w *wrap) Technique() Technique { return w.t }
+func (w *wrap) Source() SourceKind   { return w.src }

@@ -1,0 +1,328 @@
+package tscds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// allCombos enumerates every valid (structure, technique) pair.
+func allCombos() []struct {
+	S Structure
+	T Technique
+} {
+	return []struct {
+		S Structure
+		T Technique
+	}{
+		{BST, VCAS}, {BST, EBRRQ}, {NMBST, VCAS},
+		{Citrus, VCAS}, {Citrus, Bundle}, {Citrus, EBRRQ},
+		{SkipList, Bundle}, {SkipList, VCAS}, {SkipList, EBRRQ},
+		{LazyList, VCAS}, {LazyList, Bundle},
+	}
+}
+
+func TestNewValidCombosBothSources(t *testing.T) {
+	for _, c := range allCombos() {
+		for _, src := range []SourceKind{Logical, TSC} {
+			m, err := New(c.S, c.T, Config{Source: src})
+			if err != nil {
+				t.Fatalf("New(%v,%v,%v): %v", c.S, c.T, src, err)
+			}
+			if m.Structure() != c.S || m.Technique() != c.T || m.Source() != src {
+				t.Fatalf("identity mismatch for %v/%v", c.S, c.T)
+			}
+		}
+	}
+	// Lock-free EBR-RQ exists with a logical source only.
+	for _, s := range []Structure{Citrus, BST, SkipList} {
+		if _, err := New(s, EBRRQLockFree, Config{Source: Logical}); err != nil {
+			t.Fatalf("lock-free EBR-RQ on %v with logical source: %v", s, err)
+		}
+		if _, err := New(s, EBRRQLockFree, Config{Source: TSC}); err == nil {
+			t.Fatalf("lock-free EBR-RQ on %v accepted TSC", s)
+		}
+	}
+}
+
+func TestNewRejectsInvalidCombos(t *testing.T) {
+	bad := []struct {
+		S Structure
+		T Technique
+	}{
+		{BST, Bundle},
+		{LazyList, EBRRQ},
+		{NMBST, Bundle}, {NMBST, EBRRQ},
+	}
+	for _, c := range bad {
+		if _, err := New(c.S, c.T, Config{}); err == nil {
+			t.Errorf("New(%v,%v) accepted an unsupported combination", c.S, c.T)
+		}
+	}
+}
+
+func TestLockFreeEBRRQRejectsTSC(t *testing.T) {
+	_, err := New(Citrus, EBRRQLockFree, Config{Source: TSC})
+	if err == nil {
+		t.Fatal("lock-free EBR-RQ accepted a hardware timestamp")
+	}
+	// The cause is wrapped so callers can program against it.
+	if errors.Unwrap(err) == nil {
+		t.Fatalf("error not wrapped: %v", err)
+	}
+}
+
+func TestBasicSemanticsEveryCombo(t *testing.T) {
+	for _, c := range allCombos() {
+		t.Run(fmt.Sprintf("%v-%v", c.S, c.T), func(t *testing.T) {
+			m, err := New(c.S, c.T, Config{Source: TSC, MaxThreads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := m.RegisterThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer th.Release()
+			// Key 0 must work through the facade even for structures
+			// with a 0-key sentinel internally.
+			if !m.Insert(th, 0, 7) || !m.Contains(th, 0) {
+				t.Fatal("key 0 broken")
+			}
+			if v, ok := m.Get(th, 0); !ok || v != 7 {
+				t.Fatalf("Get(0) = (%d,%v)", v, ok)
+			}
+			if !m.Insert(th, 10, 100) || m.Insert(th, 10, 200) {
+				t.Fatal("insert semantics")
+			}
+			got := m.RangeQuery(th, 0, 20, nil)
+			if len(got) != 2 || got[0].Key > got[1].Key {
+				// BST/EBR results may be unsorted; sort before checking.
+				sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+			}
+			if len(got) != 2 || got[0].Key != 0 || got[1].Key != 10 {
+				t.Fatalf("range = %v", got)
+			}
+			if !m.Delete(th, 0) || m.Contains(th, 0) {
+				t.Fatal("delete semantics")
+			}
+			if m.Len() != 1 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+			// Out-of-range keys are rejected, not wrapped.
+			if m.Insert(th, MaxKey+1, 1) || m.Contains(th, MaxKey+1) {
+				t.Fatal("key above MaxKey accepted")
+			}
+		})
+	}
+}
+
+func TestConcurrentSmokeEveryCombo(t *testing.T) {
+	for _, c := range allCombos() {
+		c := c
+		t.Run(fmt.Sprintf("%v-%v", c.S, c.T), func(t *testing.T) {
+			n := 600
+			if c.S == LazyList {
+				n = 150 // O(n) traversals
+			}
+			m, err := New(c.S, c.T, Config{Source: TSC, MaxThreads: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th, err := m.RegisterThread()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer th.Release()
+					base := uint64(g * 10_000)
+					for i := uint64(0); i < uint64(n); i++ {
+						m.Insert(th, base+i, i)
+					}
+					for i := uint64(0); i < uint64(n); i += 2 {
+						m.Delete(th, base+i)
+					}
+				}(g)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th, _ := m.RegisterThread()
+				defer th.Release()
+				for r := 0; r < 30; r++ {
+					kvs := m.RangeQuery(th, 0, 30_000, nil)
+					seen := map[uint64]bool{}
+					for _, kv := range kvs {
+						if seen[kv.Key] {
+							t.Errorf("duplicate key %d in snapshot", kv.Key)
+							return
+						}
+						seen[kv.Key] = true
+					}
+				}
+			}()
+			wg.Wait()
+			if got := m.Len(); got != 3*n/2 {
+				t.Fatalf("Len = %d, want %d", got, 3*n/2)
+			}
+		})
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	prev := Now()
+	for i := 0; i < 10000; i++ {
+		now := Now()
+		if now < prev {
+			t.Fatalf("Now went backwards: %d then %d", prev, now)
+		}
+		prev = now
+	}
+	t.Logf("HardwareTimestampSupported = %v", HardwareTimestampSupported())
+}
+
+// Property: facade range queries agree with a model map, across combos.
+func TestRangeAgainstModelProperty(t *testing.T) {
+	for _, c := range allCombos() {
+		c := c
+		f := func(keys []uint16, lo16, span16 uint16) bool {
+			m, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2})
+			if err != nil {
+				return false
+			}
+			th, _ := m.RegisterThread()
+			model := map[uint64]bool{}
+			for i, k16 := range keys {
+				if i > 60 {
+					break
+				}
+				k := uint64(k16 % 512)
+				if model[k] {
+					m.Delete(th, k)
+					delete(model, k)
+				} else {
+					m.Insert(th, k, k)
+					model[k] = true
+				}
+			}
+			lo := uint64(lo16 % 512)
+			hi := lo + uint64(span16%64)
+			got := m.RangeQuery(th, lo, hi, nil)
+			want := 0
+			for k := range model {
+				if k >= lo && k <= hi {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+			for _, kv := range got {
+				if !model[kv.Key] || kv.Key < lo || kv.Key > hi {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%v/%v: %v", c.S, c.T, err)
+		}
+	}
+}
+
+func TestScanStreamsSortedAndStopsEarly(t *testing.T) {
+	for _, c := range allCombos() {
+		m, err := New(c.S, c.T, Config{Source: TSC, MaxThreads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, _ := m.RegisterThread()
+		for _, k := range []uint64{9, 3, 7, 1, 5} {
+			m.Insert(th, k, k*2)
+		}
+		var keys []uint64
+		m.Scan(th, 2, 8, func(kv KV) bool {
+			keys = append(keys, kv.Key)
+			return true
+		})
+		want := []uint64{3, 5, 7}
+		if len(keys) != len(want) {
+			t.Fatalf("%v/%v: scan = %v", c.S, c.T, keys)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("%v/%v: scan order = %v", c.S, c.T, keys)
+			}
+		}
+		count := 0
+		m.Scan(th, 0, MaxKey, func(KV) bool {
+			count++
+			return count < 2
+		})
+		if count != 2 {
+			t.Fatalf("%v/%v: early stop visited %d", c.S, c.T, count)
+		}
+		th.Release()
+	}
+}
+
+// An OrdoSource-wrapped structure behaves identically through the
+// internal registry path (the facade builds plain sources; this checks
+// the Source interface boundary is honored by the techniques).
+func TestBatchStoreFacade(t *testing.T) {
+	st, reg := NewBatchStore(Config{Source: TSC, MaxThreads: 4})
+	th, err := reg.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Release()
+	st.Apply(th, []BatchOp{{Key: 1, Val: 10}, {Key: 2, Val: 20}})
+	sn := st.Snapshot(th)
+	a, okA := sn.Get(1)
+	b, okB := sn.Get(2)
+	sn.Close()
+	if !okA || !okB || a != 10 || b != 20 {
+		t.Fatalf("batch read back (%d,%v) (%d,%v)", a, okA, b, okB)
+	}
+	st.Remove(th, 1)
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+// MaxKey round-trips through the key-shifted structures (skip list,
+// lazy list) without overflowing into their sentinels.
+func TestMaxKeyBoundaryShiftedStructures(t *testing.T) {
+	for _, c := range []struct {
+		S Structure
+		T Technique
+	}{{SkipList, Bundle}, {SkipList, VCAS}, {SkipList, EBRRQ}, {LazyList, Bundle}, {LazyList, VCAS}} {
+		m, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, _ := m.RegisterThread()
+		if !m.Insert(th, MaxKey, 1) {
+			t.Fatalf("%v/%v: MaxKey not insertable", c.S, c.T)
+		}
+		if !m.Contains(th, MaxKey) {
+			t.Fatalf("%v/%v: MaxKey vanished", c.S, c.T)
+		}
+		got := m.RangeQuery(th, MaxKey-1, MaxKey, nil)
+		if len(got) != 1 || got[0].Key != MaxKey {
+			t.Fatalf("%v/%v: boundary range = %v", c.S, c.T, got)
+		}
+		if !m.Delete(th, MaxKey) {
+			t.Fatalf("%v/%v: MaxKey not deletable", c.S, c.T)
+		}
+		th.Release()
+	}
+}
