@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: static checks plus race-enabled tests on
+# the concurrency-sensitive packages.
+check:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test -race ./internal/core/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench=. -benchtime=200ms -run=^$$ .

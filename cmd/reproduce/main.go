@@ -26,6 +26,7 @@ func main() {
 	full := flag.Bool("full", false, "run every simulated panel (slower)")
 	nativeDuration := flag.Duration("native-duration", 300*time.Millisecond, "native per-trial duration")
 	nativeKeys := flag.Uint64("native-keyrange", 100_000, "native key range")
+	metrics := flag.Bool("metrics", false, "dump a metrics snapshot (JSON) per native arm")
 	out := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 	var w io.Writer = os.Stdout
@@ -85,7 +86,7 @@ func main() {
 	fmt.Fprintln(w, "Low core counts mute the contention the paper measures; these verify")
 	fmt.Fprintln(w, "the real implementations run and order sanely, not absolute shapes.")
 	fmt.Fprintln(w)
-	native(w, *nativeDuration, *nativeKeys)
+	native(w, *nativeDuration, *nativeKeys, *metrics)
 }
 
 func reportFig1(w io.Writer, panels []sim.Panel) {
@@ -106,7 +107,7 @@ func reportFig1(w io.Writer, panels []sim.Panel) {
 	fmt.Fprintln(w)
 }
 
-func native(w io.Writer, d time.Duration, keyRange uint64) {
+func native(w io.Writer, d time.Duration, keyRange uint64, metrics bool) {
 	combos := []struct {
 		label string
 		s     tscds.Structure
@@ -125,8 +126,13 @@ func native(w io.Writer, d time.Duration, keyRange uint64) {
 		wl := c.wl
 		wl.KeyRange = keyRange
 		var cells [2]string
+		var snaps [2]string
 		for i, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
-			mp, err := tscds.New(c.s, c.t, tscds.Config{Source: src, MaxThreads: 256})
+			cfg := tscds.Config{Source: src, MaxThreads: 256}
+			if metrics {
+				cfg.Metrics = tscds.NewMetrics()
+			}
+			mp, err := tscds.New(c.s, c.t, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -143,8 +149,14 @@ func native(w io.Writer, d time.Duration, keyRange uint64) {
 				os.Exit(1)
 			}
 			cells[i] = fmt.Sprintf("%9.2f Mops", res.Mean)
+			if cfg.Metrics != nil {
+				snaps[i] = cfg.Metrics.String()
+			}
 		}
 		fmt.Fprintf(w, "%-32s %14s %14s\n", c.label, cells[0], cells[1])
+		if metrics {
+			fmt.Fprintf(w, "  metrics Logical: %s\n  metrics RDTSCP:  %s\n", snaps[0], snaps[1])
+		}
 	}
 }
 

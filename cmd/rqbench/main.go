@@ -38,6 +38,28 @@ type figure struct {
 // figuresOverride is set by -custom.
 var figuresOverride *figure
 
+// metricsOn is set by -metrics.
+var metricsOn bool
+
+// newMap builds an arm's map, attaching a fresh metrics registry when
+// -metrics is set.
+func newMap(s tscds.Structure, t tscds.Technique, src tscds.SourceKind) (tscds.Map, *tscds.Metrics, error) {
+	cfg := tscds.Config{Source: src, MaxThreads: 512}
+	if metricsOn {
+		cfg.Metrics = tscds.NewMetrics()
+	}
+	m, err := tscds.New(s, t, cfg)
+	return m, cfg.Metrics, err
+}
+
+// dumpMetrics prints a labeled snapshot after an arm's runs.
+func dumpMetrics(label string, reg *tscds.Metrics) {
+	if reg == nil {
+		return
+	}
+	fmt.Printf("metrics %s: %s\n", label, reg.String())
+}
+
 // customFigure parses "structure/technique" into a single-arm figure.
 func customFigure(spec string) (figure, error) {
 	structs := map[string]tscds.Structure{
@@ -128,7 +150,9 @@ func main() {
 	latency := flag.Bool("latency", false, "native: report per-class latency percentiles instead of throughput")
 	timeline := flag.Bool("timeline", false, "native: report per-interval throughput and GC activity")
 	custom := flag.String("custom", "", "run one custom arm instead of a figure, e.g. skiplist/vcas or citrus/bundle")
+	metrics := flag.Bool("metrics", false, "native: dump a metrics snapshot (JSON) per arm after its runs")
 	flag.Parse()
+	metricsOn = *metrics
 
 	if *custom != "" {
 		f2, err := customFigure(*custom)
@@ -185,7 +209,7 @@ func main() {
 		if *timeline {
 			for _, a := range f.arms {
 				for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
-					m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+					m, mreg, err := newMap(a.s, a.t, src)
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(1)
@@ -200,6 +224,7 @@ func main() {
 						os.Exit(1)
 					}
 					fmt.Printf("%s/%v, workload %s, timeline:\n%s\n", a.name, src, wl.Label(), tl)
+					dumpMetrics(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), mreg)
 				}
 			}
 			continue
@@ -207,7 +232,7 @@ func main() {
 		if *latency {
 			for _, a := range f.arms {
 				for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
-					m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+					m, mreg, err := newMap(a.s, a.t, src)
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(1)
@@ -222,6 +247,7 @@ func main() {
 						os.Exit(1)
 					}
 					fmt.Printf("%s/%v, workload %s, latency over %v:\n%s\n", a.name, src, wl.Label(), *duration, res)
+					dumpMetrics(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), mreg)
 				}
 			}
 			continue
@@ -233,7 +259,7 @@ func main() {
 				if src == tscds.TSC {
 					name += "-RDTSCP"
 				}
-				m, err := tscds.New(a.s, a.t, tscds.Config{Source: src, MaxThreads: 512})
+				m, mreg, err := newMap(a.s, a.t, src)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
@@ -252,6 +278,7 @@ func main() {
 					}
 					series[name] = append(series[name], res)
 				}
+				dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), mreg)
 			}
 		}
 		fmt.Println(bench.Table(

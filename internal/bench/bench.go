@@ -129,6 +129,9 @@ func Run(target Target, reg Registrar, wl Workload, opts Options) (Result, error
 	if !wl.Valid() {
 		return Result{}, fmt.Errorf("bench: workload %s does not sum to 100", wl.Label())
 	}
+	if wl.KeyRange == 0 {
+		return Result{}, fmt.Errorf("bench: workload %s has zero key range", wl.Label())
+	}
 	if opts.Trials <= 0 {
 		opts.Trials = 1
 	}

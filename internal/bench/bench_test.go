@@ -30,6 +30,19 @@ func TestWorkloadValidation(t *testing.T) {
 	}
 }
 
+func TestZeroKeyRangeRejected(t *testing.T) {
+	// A valid mix with KeyRange 0 used to divide by zero in the key draw.
+	wl := Workload{U: 10, RQ: 10, C: 80}
+	if _, err := Run(nil, nil, wl, Options{Threads: 1}); err == nil {
+		t.Fatal("Run accepted zero key range")
+	}
+	r := core.NewRegistry(4)
+	tr := lfbst.New(core.New(core.Logical), r)
+	if _, err := MeasureLatency(tr, reg{r}, wl, time.Millisecond, 1); err == nil {
+		t.Fatal("MeasureLatency accepted zero key range")
+	}
+}
+
 func TestPrefillHalf(t *testing.T) {
 	r := core.NewRegistry(4)
 	tr := lfbst.New(core.New(core.Logical), r)

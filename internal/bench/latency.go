@@ -21,11 +21,10 @@ type LatencyResult struct {
 
 // LatencyStats summarizes one operation class.
 type LatencyStats struct {
-	Count            int
-	P50, P95, P99    time.Duration
-	Max              time.Duration
-	Mean             time.Duration
-	samplesCollected []time.Duration
+	Count         int
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+	Mean          time.Duration
 }
 
 // classNames labels LatencyResult.Classes.
@@ -37,6 +36,9 @@ var classNames = [3]string{"update", "range-query", "contains"}
 func MeasureLatency(target Target, reg Registrar, wl Workload, duration time.Duration, seed uint64) (LatencyResult, error) {
 	if !wl.Valid() {
 		return LatencyResult{}, fmt.Errorf("bench: workload %s does not sum to 100", wl.Label())
+	}
+	if wl.KeyRange == 0 {
+		return LatencyResult{}, fmt.Errorf("bench: workload %s has zero key range", wl.Label())
 	}
 	th, err := reg.RegisterThread()
 	if err != nil {

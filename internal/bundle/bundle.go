@@ -128,20 +128,29 @@ func (b *Bundle[T]) Head() *Entry[T] { return b.head.Load() }
 // Truncate drops history below the newest entry labeled at or before
 // minRQ, the minimum active range-query timestamp; no current or future
 // snapshot reads anything older. Writers call it opportunistically while
-// holding the link's locks.
-func (b *Bundle[T]) Truncate(minRQ core.TS) {
+// holding the link's locks. It returns the number of entries dropped
+// (counted on the detached tail, so the cost is proportional to what was
+// reclaimed; concurrent truncators may attribute the same tail to both —
+// callers use the count for metrics, not correctness).
+func (b *Bundle[T]) Truncate(minRQ core.TS) int {
 	e := b.head.Load()
 	if e == nil || e.ts.Load() == core.Pending {
-		return
+		return 0
 	}
 	for e.ts.Load() > minRQ {
 		next := e.next.Load()
 		if next == nil {
-			return
+			return 0
 		}
 		e = next
 	}
+	tail := e.next.Load()
 	e.next.Store(nil)
+	n := 0
+	for ; tail != nil; tail = tail.next.Load() {
+		n++
+	}
+	return n
 }
 
 // Len counts reachable entries (tests, heap-boundedness assertions).

@@ -6,6 +6,7 @@ import (
 
 	"tscds/internal/bundle"
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/rcu"
 )
 
@@ -42,6 +43,7 @@ type BundleTree struct {
 	src  core.Source
 	reg  *core.Registry
 	rcu  *rcu.RCU
+	gc   *obs.GC
 	root *bnode
 }
 
@@ -57,6 +59,10 @@ func NewBundle(src core.Source, reg *core.Registry) *BundleTree {
 
 // Source returns the tree's timestamp source.
 func (t *BundleTree) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the tree sees concurrent traffic.
+func (t *BundleTree) SetGC(g *obs.GC) { t.gc = g }
 
 func (t *BundleTree) traverse(tid int, key uint64) (prev, curr *bnode) {
 	t.rcu.ReadLock(tid)
@@ -217,8 +223,10 @@ func (t *BundleTree) maybeTruncate(n *bnode, key uint64) {
 		return
 	}
 	min := t.reg.MinActiveRQ()
-	n.bnd[0].Truncate(min)
-	n.bnd[1].Truncate(min)
+	dropped := n.bnd[0].Truncate(min) + n.bnd[1].Truncate(min)
+	if t.gc != nil && dropped > 0 {
+		t.gc.BundlePruned.Add(uint64(dropped))
+	}
 }
 
 // RangeQuery appends every pair with lo <= key <= hi as of one

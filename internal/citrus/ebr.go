@@ -7,6 +7,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/ebrrq"
 	"tscds/internal/epoch"
+	"tscds/internal/obs"
 	"tscds/internal/rcu"
 )
 
@@ -73,6 +74,10 @@ func NewEBR(src core.Source, reg *core.Registry, variant ebrrq.Variant) (*EBRTre
 
 // Source returns the tree's timestamp source.
 func (t *EBRTree) Source() core.Source { return t.src }
+
+// SetGC wires limbo-list reporting to g (nil disables it). Call before
+// the tree sees concurrent traffic.
+func (t *EBRTree) SetGC(g *obs.GC) { t.em.SetGC(g) }
 
 // Provider exposes the timestamp provider (tests).
 func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/rcu"
 	"tscds/internal/vcas"
 )
@@ -30,6 +31,7 @@ type VcasTree struct {
 	src  core.Source
 	reg  *core.Registry
 	rcu  *rcu.RCU
+	gc   *obs.GC
 	root *vnode
 }
 
@@ -45,6 +47,10 @@ func NewVcas(src core.Source, reg *core.Registry) *VcasTree {
 
 // Source returns the tree's timestamp source.
 func (t *VcasTree) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the tree sees concurrent traffic.
+func (t *VcasTree) SetGC(g *obs.GC) { t.gc = g }
 
 // traverse returns (prev, curr) where curr.key == key, or curr == nil
 // with prev the would-be parent. Runs inside an RCU read section.
@@ -217,8 +223,10 @@ func (t *VcasTree) maybeTruncate(n *vnode, key uint64) {
 		return
 	}
 	min := t.reg.MinActiveRQ()
-	n.child[0].Truncate(min)
-	n.child[1].Truncate(min)
+	dropped := n.child[0].Truncate(min) + n.child[1].Truncate(min)
+	if t.gc != nil && dropped > 0 {
+		t.gc.VersionsPruned.Add(uint64(dropped))
+	}
 }
 
 // RangeQuery appends every pair with lo <= key <= hi as of one

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tscds/internal/obs"
+)
+
+// InstrumentSource wraps src so every Advance, Peek and Snapshot is
+// counted in st. On a logical source the Advance count is a direct proxy
+// for fetch-and-add contention on the shared timestamp line — the effect
+// the paper's figures measure; on hardware sources the counts describe
+// the workload's timestamp appetite.
+//
+// The wrapper preserves Addressable, so an instrumented logical source
+// remains usable by lock-free EBR-RQ's DCSS. (DCSS traffic goes straight
+// to the counter's address and is intentionally not counted: it is the
+// algorithm's validation read, not a timestamp acquisition.)
+func InstrumentSource(src Source, st *obs.SourceStats) Source {
+	is := instrumentedSource{inner: src, st: st}
+	if a, ok := src.(Addressable); ok {
+		return &instrumentedAddressable{instrumentedSource: is, addr: a}
+	}
+	return &is
+}
+
+type instrumentedSource struct {
+	inner Source
+	st    *obs.SourceStats
+}
+
+func (s *instrumentedSource) Advance() TS {
+	s.st.Advances.Inc()
+	return s.inner.Advance()
+}
+
+func (s *instrumentedSource) Peek() TS {
+	s.st.Peeks.Inc()
+	return s.inner.Peek()
+}
+
+func (s *instrumentedSource) Snapshot() TS {
+	s.st.Snapshots.Inc()
+	return s.inner.Snapshot()
+}
+
+func (s *instrumentedSource) Kind() Kind { return s.inner.Kind() }
+
+type instrumentedAddressable struct {
+	instrumentedSource
+	addr Addressable
+}
+
+func (s *instrumentedAddressable) Addr() *atomic.Uint64 { return s.addr.Addr() }

@@ -46,6 +46,11 @@ type Thread struct {
 	// (limbo lists, RCU slots) sized by Registry.Cap.
 	ID  int
 	reg *Registry
+	// released guards against double-release (under reg.mu): pushing the
+	// same slot ID onto free twice would hand it to two goroutines, whose
+	// racing announcements would silently break the MinActiveRQ
+	// reclamation invariant.
+	released bool
 }
 
 // Register allocates a thread handle, reusing released slots.
@@ -78,10 +83,16 @@ func (r *Registry) MustRegister() *Thread {
 }
 
 // Release returns the slot to the registry. The handle must not be used
-// afterwards.
+// afterwards. Release is idempotent: a second call is a no-op, so a slot
+// ID can never be pushed onto the free list twice and handed out to two
+// goroutines at once.
 func (t *Thread) Release() {
 	t.reg.mu.Lock()
 	defer t.reg.mu.Unlock()
+	if t.released {
+		return
+	}
+	t.released = true
 	t.reg.slots[t.ID].Store(Pending)
 	t.reg.free = append(t.reg.free, t.ID)
 }

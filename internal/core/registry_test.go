@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tscds/internal/obs"
+)
+
+// Regression: a double Release must not push the slot onto the free list
+// twice — that would hand one announcement slot to two goroutines and
+// break the MinActiveRQ reclamation invariant.
+func TestReleaseIdempotent(t *testing.T) {
+	r := NewRegistry(4)
+	th, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Release()
+	th.Release() // second release must be a no-op
+	a := r.MustRegister()
+	b := r.MustRegister()
+	if a.ID == b.ID {
+		t.Fatalf("double release handed slot %d to two threads", a.ID)
+	}
+	// The freed slot is reused exactly once.
+	if a.ID != th.ID && b.ID != th.ID {
+		t.Fatalf("released slot %d never reused (got %d, %d)", th.ID, a.ID, b.ID)
+	}
+}
+
+func TestDoubleReleaseNeverOverfillsRegistry(t *testing.T) {
+	r := NewRegistry(2)
+	a := r.MustRegister()
+	b := r.MustRegister()
+	a.Release()
+	a.Release()
+	b.Release()
+	// Only two distinct slots exist; three registrations must fail even
+	// after the double release above.
+	r.MustRegister()
+	r.MustRegister()
+	if _, err := r.Register(); err == nil {
+		t.Fatal("registry handed out more slots than its capacity")
+	}
+}
+
+// Race-focused churn over register/announce/release (run with -race; the
+// make check target does). Every goroutine loops obtaining a handle,
+// announcing a range query through it, and releasing it — with a rogue
+// double release thrown in — while a scanner computes MinActiveRQ.
+func TestRegistryChurnRace(t *testing.T) {
+	const workers = 8
+	r := NewRegistry(workers)
+	var stop sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		stop.Add(1)
+		go func() {
+			defer stop.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				th, err := r.Register()
+				if err != nil {
+					continue // capacity transiently exhausted by churn
+				}
+				th.BeginRQ()
+				th.AnnounceRQ(42)
+				th.DoneRQ()
+				th.Release()
+				th.Release() // regression: must stay a no-op under -race
+			}
+		}()
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(done)
+			stop.Wait()
+			if got := r.MinActiveRQ(); got != Pending {
+				t.Fatalf("MinActiveRQ after quiesce = %d, want Pending", got)
+			}
+			return
+		default:
+			_ = r.MinActiveRQ()
+		}
+	}
+}
+
+// Announcement slots released and re-registered must come back Pending so
+// a stale announcement can never pin reclamation.
+func TestReleasedSlotComesBackPending(t *testing.T) {
+	r := NewRegistry(1)
+	th := r.MustRegister()
+	th.AnnounceRQ(7)
+	th.Release()
+	if got := r.MinActiveRQ(); got != Pending {
+		t.Fatalf("released slot still announces %d", got)
+	}
+	th2 := r.MustRegister()
+	if got := r.MinActiveRQ(); got != Pending {
+		t.Fatalf("fresh slot announces %d", got)
+	}
+	th2.Release()
+}
+
+func TestInstrumentSourceCounts(t *testing.T) {
+	var st obs.SourceStats
+	src := InstrumentSource(New(Logical), &st)
+	if src.Kind() != Logical {
+		t.Fatalf("kind = %v, want Logical", src.Kind())
+	}
+	before := src.Peek()
+	src.Advance()
+	src.Advance()
+	src.Snapshot()
+	if after := src.Peek(); after <= before {
+		t.Fatalf("instrumented source did not advance: %d -> %d", before, after)
+	}
+	if st.Advances.Load() != 2 || st.Snapshots.Load() != 1 || st.Peeks.Load() != 2 {
+		t.Fatalf("counts = advances %d, peeks %d, snapshots %d; want 2, 2, 1",
+			st.Advances.Load(), st.Peeks.Load(), st.Snapshots.Load())
+	}
+}
+
+// Instrumenting a logical source must preserve addressability — lock-free
+// EBR-RQ's DCSS validates the timestamp at its address.
+func TestInstrumentSourcePreservesAddressable(t *testing.T) {
+	var st obs.SourceStats
+	src := InstrumentSource(NewLogical(), &st)
+	a, ok := src.(Addressable)
+	if !ok {
+		t.Fatal("instrumented logical source lost Addressable")
+	}
+	src.Advance()
+	if got := a.Addr().Load(); got != src.Peek() {
+		t.Fatalf("Addr() tracks %d, Peek says %d", got, src.Peek())
+	}
+	// Hardware sources have no address before or after wrapping.
+	var st2 obs.SourceStats
+	if _, ok := InstrumentSource(New(Monotonic), &st2).(Addressable); ok {
+		t.Fatal("instrumented hardware source claims Addressable")
+	}
+}

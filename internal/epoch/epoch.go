@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"tscds/internal/core"
+	"tscds/internal/obs"
 )
 
 // quiescent marks an unpinned thread slot.
@@ -54,6 +55,9 @@ type Manager[T any] struct {
 	retain func(item T, minRQ core.TS) bool
 	// minRQ supplies the current minimum active range-query timestamp.
 	minRQ func() core.TS
+	// gc, when set, receives limbo-list churn (retired/pruned counts and
+	// the current population). Nil disables reporting.
+	gc    *obs.GC
 	slots []slot[T]
 }
 
@@ -72,6 +76,10 @@ func NewManager[T any](maxThreads int, retain func(T, core.TS) bool, minRQ func(
 	}
 	return m
 }
+
+// SetGC wires limbo-list reporting to g (nil disables it). Call before
+// the manager sees concurrent traffic.
+func (m *Manager[T]) SetGC(g *obs.GC) { m.gc = g }
 
 // Pin enters an epoch-protected region for thread tid. Every data
 // structure operation (including range queries) runs pinned.
@@ -95,6 +103,10 @@ func (m *Manager[T]) Retire(tid int, item T) {
 	n.next.Store(s.head.Load())
 	s.head.Store(n)
 	s.retires++
+	if m.gc != nil {
+		m.gc.LimboRetired.Inc()
+		m.gc.LimboLen.Add(1)
+	}
 	if s.retires%pruneInterval == 0 {
 		m.tryAdvance()
 		m.Prune(tid)
@@ -134,6 +146,16 @@ func (m *Manager[T]) Prune(tid int) {
 				s.head.Store(nil)
 			} else {
 				prev.next.Store(nil)
+			}
+			if m.gc != nil {
+				// Count the detached suffix; the list is single-writer
+				// (this thread), so the walk is stable.
+				dropped := int64(0)
+				for x := n; x != nil; x = x.next.Load() {
+					dropped++
+				}
+				m.gc.LimboPruned.Add(uint64(dropped))
+				m.gc.LimboLen.Add(-dropped)
 			}
 			return
 		}

@@ -19,6 +19,7 @@ import (
 
 	"tscds/internal/bundle"
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/vcas"
 )
 
@@ -43,6 +44,7 @@ func alive(dts uint64) bool { return dts == 0 || dts == uint64(core.Pending) }
 type BundleList struct {
 	src  core.Source
 	reg  *core.Registry
+	gc   *obs.GC
 	head *bnode
 }
 
@@ -55,6 +57,10 @@ func NewBundle(src core.Source, reg *core.Registry) *BundleList {
 
 // Source returns the list's timestamp source.
 func (t *BundleList) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the list sees concurrent traffic.
+func (t *BundleList) SetGC(g *obs.GC) { t.gc = g }
 
 func (t *BundleList) find(key uint64) (pred, cur *bnode) {
 	pred = t.head
@@ -160,7 +166,10 @@ func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
 
 func (t *BundleList) maybeTruncate(n *bnode, key uint64) {
 	if key%64 == 0 {
-		n.bnd.Truncate(t.reg.MinActiveRQ())
+		dropped := n.bnd.Truncate(t.reg.MinActiveRQ())
+		if t.gc != nil && dropped > 0 {
+			t.gc.BundlePruned.Add(uint64(dropped))
+		}
 	}
 }
 
@@ -220,6 +229,7 @@ func newVnode(key, val uint64, next *vnode) *vnode {
 type VcasList struct {
 	src  core.Source
 	reg  *core.Registry
+	gc   *obs.GC
 	head *vnode
 }
 
@@ -230,6 +240,10 @@ func NewVcas(src core.Source, reg *core.Registry) *VcasList {
 
 // Source returns the list's timestamp source.
 func (t *VcasList) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the list sees concurrent traffic.
+func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 
 func (t *VcasList) find(key uint64) (pred, cur *vnode) {
 	pred = t.head
@@ -312,8 +326,10 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 func (t *VcasList) maybeTruncate(n *vnode, key uint64) {
 	if key%64 == 0 {
 		min := t.reg.MinActiveRQ()
-		n.next.Truncate(min)
-		n.marked.Truncate(min)
+		dropped := n.next.Truncate(min) + n.marked.Truncate(min)
+		if t.gc != nil && dropped > 0 {
+			t.gc.VersionsPruned.Add(uint64(dropped))
+		}
 	}
 }
 

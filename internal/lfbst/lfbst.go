@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/vcas"
 )
 
@@ -105,6 +106,7 @@ func newInternal(key uint64, l, r *node) *node {
 type Tree struct {
 	src  core.Source
 	reg  *core.Registry
+	gc   *obs.GC
 	root *node
 }
 
@@ -117,6 +119,10 @@ func New(src core.Source, reg *core.Registry) *Tree {
 
 // Source returns the tree's timestamp source.
 func (t *Tree) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the tree sees concurrent traffic.
+func (t *Tree) SetGC(g *obs.GC) { t.gc = g }
 
 // child returns the current target of the routing edge for key at n.
 func (t *Tree) child(n *node, key uint64) *vcas.Object[*node] {
@@ -288,8 +294,10 @@ func (t *Tree) maybeTruncate(n *node, key uint64) {
 		return
 	}
 	min := t.reg.MinActiveRQ()
-	n.left.Truncate(min)
-	n.right.Truncate(min)
+	dropped := n.left.Truncate(min) + n.right.Truncate(min)
+	if t.gc != nil && dropped > 0 {
+		t.gc.VersionsPruned.Add(uint64(dropped))
+	}
 }
 
 // RangeQuery appends to out every pair with lo <= key <= hi as of one

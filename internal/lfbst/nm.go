@@ -2,6 +2,7 @@ package lfbst
 
 import (
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/vcas"
 )
 
@@ -59,6 +60,7 @@ const (
 type NMTree struct {
 	src core.Source
 	reg *core.Registry
+	gc  *obs.GC
 	r   *nmNode // sentinel root, key inf2
 	s   *nmNode // sentinel child, key inf1
 }
@@ -75,6 +77,10 @@ func NewNM(src core.Source, reg *core.Registry) *NMTree {
 
 // Source returns the tree's timestamp source.
 func (t *NMTree) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the tree sees concurrent traffic.
+func (t *NMTree) SetGC(g *obs.GC) { t.gc = g }
 
 func nmDir(key, nodeKey uint64) int {
 	if key < nodeKey {
@@ -247,8 +253,10 @@ func (t *NMTree) maybeTruncate(n *nmNode, key uint64) {
 		return
 	}
 	min := t.reg.MinActiveRQ()
-	n.child[0].Truncate(min)
-	n.child[1].Truncate(min)
+	dropped := n.child[0].Truncate(min) + n.child[1].Truncate(min)
+	if t.gc != nil && dropped > 0 {
+		t.gc.VersionsPruned.Add(uint64(dropped))
+	}
 }
 
 // RangeQuery appends every pair with lo <= key <= hi as of one

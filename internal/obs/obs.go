@@ -1,0 +1,342 @@
+// Package obs is the library's zero-dependency observability layer:
+// atomic counters, gauges, and lock-free latency histograms with fixed
+// log-scale buckets, aggregated in a Registry with a Snapshot/expvar-style
+// export surface.
+//
+// The paper's argument is quantitative — timestamp-advance contention,
+// range-query/update interference, and version-reclamation pressure decide
+// whether hardware timestamps win — so the hot paths report here when (and
+// only when) a caller opts in by passing a *Registry. Every instrument is
+// a plain atomic on its own cache-line pair; a nil registry costs a single
+// predictable branch on the instrumented paths.
+//
+// The package deliberately imports nothing from the rest of the library so
+// that every layer (core, the technique packages, the facade, the bench
+// harness) can report through it without import cycles.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLine mirrors core's padding policy: two lines per instrument to
+// defeat the adjacent-line prefetcher, so metric traffic never
+// false-shares with the data it measures or with neighbouring metrics.
+const cacheLine = 64
+
+// Counter is a monotonically increasing atomic counter alone on its own
+// pair of cache lines. The zero value is ready to use.
+type Counter struct {
+	_ [cacheLine]byte
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic signed level (something that goes up and down, like
+// a limbo-list population). The zero value is ready to use.
+type Gauge struct {
+	_ [cacheLine]byte
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets. Bucket 0 holds zero
+// observations; bucket i (i >= 1) holds values in [2^(i-1), 2^i)
+// nanoseconds; the last bucket absorbs everything larger (>= 2^38 ns,
+// about 4.6 minutes — far beyond any data-structure operation).
+const HistBuckets = 40
+
+// Histogram is a lock-free latency histogram over fixed log2-scale
+// nanosecond buckets. Observations are three atomic adds and a CAS-loop
+// max update; no locks, no allocation. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns uint64) int {
+	i := bits.Len64(ns)
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperNS returns the inclusive upper bound (in ns) of bucket i,
+// i.e. the largest value the bucket can hold. The last bucket is
+// unbounded and reports the maximum uint64.
+func BucketUpperNS(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.ObserveNS(ns)
+}
+
+// ObserveNS records one observation of ns nanoseconds.
+func (h *Histogram) ObserveNS(ns uint64) {
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// QuantileNS returns an upper-bound estimate (the bucket boundary) of the
+// q-quantile in nanoseconds, for q in (0, 1]. With concurrent writers the
+// estimate is approximate in the usual monitoring sense.
+func (h *Histogram) QuantileNS(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketUpperNS(i)
+		}
+	}
+	return BucketUpperNS(HistBuckets - 1)
+}
+
+// BucketCount is one nonzero histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpToNS is the bucket's inclusive upper bound in nanoseconds.
+	UpToNS uint64 `json:"le_ns"`
+	Count  uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Buckets lists only
+// nonzero buckets, smallest bound first.
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	SumNS   uint64        `json:"sum_ns"`
+	MeanNS  uint64        `json:"mean_ns"`
+	MaxNS   uint64        `json:"max_ns"`
+	P50NS   uint64        `json:"p50_ns"`
+	P95NS   uint64        `json:"p95_ns"`
+	P99NS   uint64        `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Concurrent observations may straddle the
+// copy; totals are internally consistent to within in-flight operations.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanNS = s.SumNS / s.Count
+	}
+	s.P50NS = h.QuantileNS(0.50)
+	s.P95NS = h.QuantileNS(0.95)
+	s.P99NS = h.QuantileNS(0.99)
+	for i := 0; i < HistBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpToNS: BucketUpperNS(i), Count: n})
+		}
+	}
+	return s
+}
+
+// OpClass labels the operation classes the facade instruments, matching
+// the paper's U-RQ-C workload split.
+type OpClass int
+
+const (
+	// OpUpdate covers Insert and Delete.
+	OpUpdate OpClass = iota
+	// OpRange covers RangeQuery and Scan.
+	OpRange
+	// OpContains covers Contains and Get.
+	OpContains
+
+	numOpClasses
+)
+
+// String names the class as it appears in snapshot JSON.
+func (c OpClass) String() string {
+	switch c {
+	case OpUpdate:
+		return "update"
+	case OpRange:
+		return "range-query"
+	case OpContains:
+		return "contains"
+	}
+	return "unknown"
+}
+
+// SourceStats counts timestamp-source traffic. On a logical source every
+// Advance is one fetch-and-add on the shared counter, so Advances is a
+// direct proxy for the contention the paper measures; on hardware sources
+// all three are core-local reads and the counts only describe the
+// workload's timestamp appetite.
+type SourceStats struct {
+	Advances  Counter
+	Peeks     Counter
+	Snapshots Counter
+}
+
+// SourceSnapshot is a point-in-time copy of SourceStats.
+type SourceSnapshot struct {
+	// Kind is the timestamp kind label ("Logical", "RDTSCP", ...), set by
+	// whoever wires the stats to a source.
+	Kind      string `json:"kind,omitempty"`
+	Advances  uint64 `json:"advances"`
+	Peeks     uint64 `json:"peeks"`
+	Snapshots uint64 `json:"snapshots"`
+}
+
+// GC is the reclamation-reporting hook shared by every technique family:
+// the bundle, vCAS and EBR-RQ implementations all report through one
+// instance of this struct (bundle entries and vCAS versions dropped by
+// truncation, EBR-RQ limbo-list churn). A nil *GC disables reporting.
+type GC struct {
+	// BundlePruned counts bundle history entries dropped by truncation.
+	BundlePruned Counter
+	// VersionsPruned counts vCAS versions dropped by chain truncation.
+	VersionsPruned Counter
+	// LimboRetired counts nodes placed on EBR-RQ limbo lists.
+	LimboRetired Counter
+	// LimboPruned counts limbo nodes dropped once both the epoch and the
+	// range-query retention conditions released them.
+	LimboPruned Counter
+	// LimboLen tracks the current total limbo population.
+	LimboLen Gauge
+}
+
+// GCSnapshot is a point-in-time copy of GC.
+type GCSnapshot struct {
+	BundleEntriesPruned uint64 `json:"bundle_entries_pruned"`
+	VcasVersionsPruned  uint64 `json:"vcas_versions_pruned"`
+	LimboRetired        uint64 `json:"limbo_retired"`
+	LimboPruned         uint64 `json:"limbo_pruned"`
+	LimboLen            int64  `json:"limbo_len"`
+}
+
+// Snapshot copies the counters.
+func (g *GC) Snapshot() GCSnapshot {
+	return GCSnapshot{
+		BundleEntriesPruned: g.BundlePruned.Load(),
+		VcasVersionsPruned:  g.VersionsPruned.Load(),
+		LimboRetired:        g.LimboRetired.Load(),
+		LimboPruned:         g.LimboPruned.Load(),
+		LimboLen:            g.LimboLen.Load(),
+	}
+}
+
+// Registry aggregates one data structure's metrics: per-class operation
+// latency histograms (which carry the op counts), timestamp-source stats,
+// and reclamation stats. A Registry is safe for concurrent use by any
+// number of goroutines; all fields are independent atomics.
+type Registry struct {
+	ops    [numOpClasses]Histogram
+	Source SourceStats
+	GC     GC
+	kind   atomic.Pointer[string]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Op returns the latency histogram for one operation class.
+func (r *Registry) Op(c OpClass) *Histogram { return &r.ops[c] }
+
+// ObserveOp records one completed operation of class c.
+func (r *Registry) ObserveOp(c OpClass, d time.Duration) {
+	r.ops[c].Observe(d)
+}
+
+// SetSourceKind records the timestamp kind label reported in snapshots.
+// When several structures share one registry the last label wins.
+func (r *Registry) SetSourceKind(kind string) { r.kind.Store(&kind) }
+
+// Snapshot is the exported point-in-time state of a Registry. It
+// marshals to the JSON shape documented in the README's Observability
+// section.
+type Snapshot struct {
+	Source SourceSnapshot          `json:"source"`
+	Ops    map[string]HistSnapshot `json:"ops"`
+	GC     GCSnapshot              `json:"gc"`
+}
+
+// Snapshot copies every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Source: SourceSnapshot{
+			Advances:  r.Source.Advances.Load(),
+			Peeks:     r.Source.Peeks.Load(),
+			Snapshots: r.Source.Snapshots.Load(),
+		},
+		Ops: make(map[string]HistSnapshot, int(numOpClasses)),
+		GC:  r.GC.Snapshot(),
+	}
+	if k := r.kind.Load(); k != nil {
+		s.Source.Kind = *k
+	}
+	for c := OpClass(0); c < numOpClasses; c++ {
+		s.Ops[c.String()] = r.ops[c].Snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as JSON, making *Registry an expvar.Var so
+// callers can expvar.Publish("tscds", registry) directly.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

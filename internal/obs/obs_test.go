@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 38, HistBuckets - 1},
+		{^uint64(0), HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// Property: every value falls in a bucket whose inclusive upper bound is
+// >= the value, and the previous bucket's bound is < the value.
+func TestBucketBoundsConsistent(t *testing.T) {
+	for _, ns := range []uint64{0, 1, 2, 3, 5, 100, 999, 4096, 1 << 20, 1 << 37, 1 << 39} {
+		i := bucketOf(ns)
+		if up := BucketUpperNS(i); ns > up {
+			t.Errorf("ns %d landed in bucket %d with upper bound %d", ns, i, up)
+		}
+		if i > 0 && i < HistBuckets-1 {
+			if prev := BucketUpperNS(i - 1); ns <= prev {
+				t.Errorf("ns %d should not fit below bucket %d (prev bound %d)", ns, i, prev)
+			}
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.ObserveNS(0)
+	h.ObserveNS(5)
+	h.ObserveNS(5)
+	h.ObserveNS(1000)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.SumNS != 1010 {
+		t.Fatalf("sum = %d, want 1010", s.SumNS)
+	}
+	if s.MaxNS != 1000 {
+		t.Fatalf("max = %d, want 1000", s.MaxNS)
+	}
+	if s.MeanNS != 252 {
+		t.Fatalf("mean = %d, want 252", s.MeanNS)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+	// p50 of {0,5,5,1000}: rank 2 lands on a 5 -> bucket [4,8), bound 7.
+	if s.P50NS != 7 {
+		t.Fatalf("p50 = %d, want 7", s.P50NS)
+	}
+	// p99: rank 4 lands on 1000 -> bucket [512,1024), bound 1023.
+	if s.P99NS != 1023 {
+		t.Fatalf("p99 = %d, want 1023", s.P99NS)
+	}
+}
+
+func TestHistogramNegativeDuration(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNS != 0 {
+		t.Fatalf("negative duration: count=%d sum=%d, want 1, 0", s.Count, s.SumNS)
+	}
+}
+
+func TestEmptyHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.QuantileNS(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+// Concurrent increments across counters, gauges and histograms must not
+// lose updates (run with -race; make check does).
+func TestConcurrentInstruments(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 10_000
+	)
+	var (
+		c  Counter
+		g  Gauge
+		h  Histogram
+		wg sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.ObserveNS(uint64(w*perG + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perG {
+		t.Errorf("counter = %d, want %d", got, workers*perG)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perG {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perG)
+	}
+	if s.MaxNS != workers*perG-1 {
+		t.Errorf("histogram max = %d, want %d", s.MaxNS, workers*perG-1)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetSourceKind("Logical")
+	r.ObserveOp(OpUpdate, 100*time.Nanosecond)
+	r.ObserveOp(OpRange, time.Microsecond)
+	r.ObserveOp(OpContains, 50*time.Nanosecond)
+	r.Source.Advances.Add(3)
+	r.GC.BundlePruned.Add(2)
+	r.GC.LimboRetired.Inc()
+	r.GC.LimboLen.Add(1)
+
+	var parsed Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if parsed.Source.Kind != "Logical" {
+		t.Errorf("kind = %q, want Logical", parsed.Source.Kind)
+	}
+	if parsed.Source.Advances != 3 {
+		t.Errorf("advances = %d, want 3", parsed.Source.Advances)
+	}
+	for _, class := range []string{"update", "range-query", "contains"} {
+		op, ok := parsed.Ops[class]
+		if !ok {
+			t.Fatalf("snapshot missing op class %q", class)
+		}
+		if op.Count != 1 {
+			t.Errorf("%s count = %d, want 1", class, op.Count)
+		}
+		if len(op.Buckets) == 0 {
+			t.Errorf("%s has no buckets", class)
+		}
+	}
+	if parsed.GC.BundleEntriesPruned != 2 || parsed.GC.LimboRetired != 1 || parsed.GC.LimboLen != 1 {
+		t.Errorf("gc snapshot = %+v", parsed.GC)
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	if OpUpdate.String() != "update" || OpRange.String() != "range-query" ||
+		OpContains.String() != "contains" || OpClass(99).String() != "unknown" {
+		t.Fatal("OpClass labels changed; snapshot JSON shape is documented in README")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/ebrrq"
 	"tscds/internal/epoch"
+	"tscds/internal/obs"
 )
 
 // This file implements the skip list + EBR-RQ combination the paper
@@ -72,6 +73,10 @@ func NewEBR(src core.Source, reg *core.Registry, variant ebrrq.Variant) (*EBRLis
 
 // Source returns the list's timestamp source.
 func (t *EBRList) Source() core.Source { return t.src }
+
+// SetGC wires limbo-list reporting to g (nil disables it). Call before
+// the list sees concurrent traffic.
+func (t *EBRList) SetGC(g *obs.GC) { t.em.SetGC(g) }
 
 // LimboLen reports retained limbo nodes (tests).
 func (t *EBRList) LimboLen() int { return t.em.LimboLen() }

@@ -27,6 +27,7 @@ import (
 
 	"tscds/internal/bundle"
 	"tscds/internal/core"
+	"tscds/internal/obs"
 )
 
 // maxLevel supports ~2^20 keys with p = 1/2.
@@ -60,6 +61,7 @@ func alive(n *node) bool { return n.dts.Load() == 0 }
 type List struct {
 	src  core.Source
 	reg  *core.Registry
+	gc   *obs.GC
 	head *node
 	rngs []core.PaddedUint64 // per-thread xorshift state for level draws
 }
@@ -80,6 +82,10 @@ func New(src core.Source, reg *core.Registry) *List {
 
 // Source returns the list's timestamp source.
 func (t *List) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the list sees concurrent traffic.
+func (t *List) SetGC(g *obs.GC) { t.gc = g }
 
 func (t *List) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
@@ -285,7 +291,10 @@ func (t *List) maybeTruncate(n *node, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	n.bnd.Truncate(t.reg.MinActiveRQ())
+	dropped := n.bnd.Truncate(t.reg.MinActiveRQ())
+	if t.gc != nil && dropped > 0 {
+		t.gc.BundlePruned.Add(uint64(dropped))
+	}
 }
 
 // visibleAt reports membership of n in the snapshot at bound s under the

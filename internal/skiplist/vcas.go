@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"tscds/internal/core"
+	"tscds/internal/obs"
 	"tscds/internal/vcas"
 )
 
@@ -54,6 +55,7 @@ func (n *vskipNode) nextAt(l int) *vskipNode {
 type VcasList struct {
 	src  core.Source
 	reg  *core.Registry
+	gc   *obs.GC
 	head *vskipNode
 	rngs []core.PaddedUint64
 }
@@ -73,6 +75,10 @@ func NewVcas(src core.Source, reg *core.Registry) *VcasList {
 
 // Source returns the list's timestamp source.
 func (t *VcasList) Source() core.Source { return t.src }
+
+// SetGC wires reclamation reporting to g (nil disables it). Call before
+// the list sees concurrent traffic.
+func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 
 func (t *VcasList) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
@@ -258,8 +264,10 @@ func (t *VcasList) maybeTruncate(n *vskipNode, key uint64) {
 		return
 	}
 	min := t.reg.MinActiveRQ()
-	n.next0.Truncate(min)
-	n.dead.Truncate(min)
+	dropped := n.next0.Truncate(min) + n.dead.Truncate(min)
+	if t.gc != nil && dropped > 0 {
+		t.gc.VersionsPruned.Add(uint64(dropped))
+	}
 }
 
 // RangeQuery appends every pair in [lo,hi] as of one snapshot (vCAS

@@ -141,22 +141,31 @@ func (o *Object[V]) Head() *Version[V] { return o.head.Load() }
 // before minRQ (the minimum active range-query timestamp): no current or
 // future snapshot can need anything older. Call it opportunistically from
 // writers; it is safe to run concurrently with readers, which hold direct
-// pointers into the chain and are unaffected by losing the tail.
-func (o *Object[V]) Truncate(minRQ core.TS) {
+// pointers into the chain and are unaffected by losing the tail. It
+// returns the number of versions dropped (counted on the detached tail;
+// concurrent truncators may attribute the same tail to both — the count
+// feeds metrics, not correctness).
+func (o *Object[V]) Truncate(minRQ core.TS) int {
 	v := o.head.Load()
 	if v == nil || v.ts.Load() == core.Pending {
-		return
+		return 0
 	}
 	// Find the newest version labeled <= minRQ; it must survive (it is
 	// the value any snapshot >= minRQ reads); everything older goes.
 	for v.ts.Load() > minRQ {
 		next := v.prev.Load()
 		if next == nil {
-			return
+			return 0
 		}
 		v = next
 	}
+	tail := v.prev.Load()
 	v.prev.Store(nil)
+	n := 0
+	for ; tail != nil; tail = tail.prev.Load() {
+		n++
+	}
+	return n
 }
 
 // ChainLen counts versions currently reachable (tests, heap-boundedness

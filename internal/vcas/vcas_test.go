@@ -287,8 +287,8 @@ func TestNoOpWritesCreateNoVersions(t *testing.T) {
 	src := core.New(core.Logical)
 	o := New(uint64(5))
 	before := o.ChainLen()
-	o.Write(src, 5)                        // same value: no new version
-	if !o.CompareAndSwap(src, 5, 5) {      // CAS to same value succeeds
+	o.Write(src, 5)                   // same value: no new version
+	if !o.CompareAndSwap(src, 5, 5) { // CAS to same value succeeds
 		t.Fatal("CAS(5,5) failed")
 	}
 	if o.ChainLen() != before {

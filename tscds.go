@@ -34,6 +34,7 @@ package tscds
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tscds/internal/citrus"
 	"tscds/internal/core"
@@ -41,6 +42,7 @@ import (
 	"tscds/internal/jiffy"
 	"tscds/internal/lazylist"
 	"tscds/internal/lfbst"
+	"tscds/internal/obs"
 	"tscds/internal/skiplist"
 	"tscds/internal/tsc"
 )
@@ -137,7 +139,26 @@ type Config struct {
 	Source SourceKind
 	// MaxThreads bounds concurrent thread handles (default 256).
 	MaxThreads int
+	// Metrics, when non-nil, receives operation counts, latency
+	// histograms, timestamp-source stats and reclamation counters from
+	// the constructed Map. Nil (the default) leaves the hot paths
+	// uninstrumented: the only cost is one pointer test per operation.
+	// A registry may be shared by several Maps; counters then aggregate.
+	Metrics *Metrics
 }
+
+// Metrics collects operation, timestamp-source and reclamation
+// statistics from Maps constructed with Config.Metrics set. Snapshot
+// (or String, which returns JSON) exports the current state; see
+// package internal/obs for the counter semantics.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is the exported point-in-time state of a Metrics
+// registry; it marshals to stable JSON.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics builds an empty metrics registry for Config.Metrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Map is a concurrent ordered uint64->uint64 map with linearizable range
 // queries. All operations take the calling goroutine's Thread handle.
@@ -153,13 +174,14 @@ type Map interface {
 	// Get returns the value at key.
 	Get(th *Thread, key uint64) (uint64, bool)
 	// RangeQuery appends all pairs with lo <= key <= hi from one
-	// linearizable snapshot to buf and returns it.
+	// linearizable snapshot to buf and returns it. An empty interval
+	// (hi < lo) returns buf unchanged without taking a snapshot.
 	RangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV
 	// Scan streams the same snapshot to fn in ascending key order;
 	// returning false stops early. The snapshot is still taken in full
 	// where the underlying technique requires it (EBR-RQ must scan
 	// limbo lists), so early exit is a convenience, not always a
-	// cost saving.
+	// cost saving. An empty interval (hi < lo) never calls fn.
 	Scan(th *Thread, lo, hi uint64, fn func(KV) bool)
 	// Len counts keys; quiescent use only.
 	Len() int
@@ -217,11 +239,24 @@ type Registry = core.Registry
 func New(s Structure, t Technique, cfg Config) (Map, error) {
 	reg := core.NewRegistry(cfg.MaxThreads)
 	src := core.New(cfg.Source)
+	if cfg.Metrics != nil {
+		cfg.Metrics.SetSourceKind(cfg.Source.String())
+		src = core.InstrumentSource(src, &cfg.Metrics.Source)
+	}
+	newWrap := func(m inner, shift uint64) Map {
+		w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics}
+		if cfg.Metrics != nil {
+			if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
+				g.SetGC(&cfg.Metrics.GC)
+			}
+		}
+		return w
+	}
 	switch s {
 	case BST:
 		switch t {
 		case VCAS:
-			return &wrap{m: lfbst.New(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+			return newWrap(lfbst.New(src, reg), 0), nil
 		case EBRRQ, EBRRQLockFree:
 			variant := ebrrq.LockBased
 			if t == EBRRQLockFree {
@@ -231,16 +266,16 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
 			}
-			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source}, nil
+			return newWrap(m, 0), nil
 		default:
 			return nil, fmt.Errorf("tscds: %v does not support %v", s, t)
 		}
 	case Citrus:
 		switch t {
 		case VCAS:
-			return &wrap{m: citrus.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+			return newWrap(citrus.NewVcas(src, reg), 0), nil
 		case Bundle:
-			return &wrap{m: citrus.NewBundle(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+			return newWrap(citrus.NewBundle(src, reg), 0), nil
 		case EBRRQ, EBRRQLockFree:
 			variant := ebrrq.LockBased
 			if t == EBRRQLockFree {
@@ -250,14 +285,14 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
 			}
-			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source}, nil
+			return newWrap(m, 0), nil
 		}
 	case SkipList:
 		switch t {
 		case Bundle:
-			return &wrap{m: skiplist.New(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+			return newWrap(skiplist.New(src, reg), 1), nil
 		case VCAS:
-			return &wrap{m: skiplist.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+			return newWrap(skiplist.NewVcas(src, reg), 1), nil
 		case EBRRQ, EBRRQLockFree:
 			variant := ebrrq.LockBased
 			if t == EBRRQLockFree {
@@ -267,20 +302,20 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
 			}
-			return &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+			return newWrap(m, 1), nil
 		}
 	case LazyList:
 		switch t {
 		case VCAS:
-			return &wrap{m: lazylist.NewVcas(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+			return newWrap(lazylist.NewVcas(src, reg), 1), nil
 		case Bundle:
-			return &wrap{m: lazylist.NewBundle(src, reg), reg: reg, s: s, t: t, src: cfg.Source, shift: 1}, nil
+			return newWrap(lazylist.NewBundle(src, reg), 1), nil
 		}
 	case NMBST:
 		if t != VCAS {
 			return nil, fmt.Errorf("tscds: %v supports only vCAS (got %v)", s, t)
 		}
-		return &wrap{m: lfbst.NewNM(src, reg), reg: reg, s: s, t: t, src: cfg.Source}, nil
+		return newWrap(lfbst.NewNM(src, reg), 0), nil
 	}
 	return nil, fmt.Errorf("tscds: unsupported combination %v/%v", s, t)
 }
@@ -296,7 +331,9 @@ type inner interface {
 }
 
 // wrap adapts an internal structure to Map. shift offsets keys upward
-// for structures that reserve key 0 as their head sentinel.
+// for structures that reserve key 0 as their head sentinel. obs, when
+// non-nil, receives per-operation counts and latencies; each public
+// method pays only a nil test when it is unset.
 type wrap struct {
 	m     inner
 	reg   *core.Registry
@@ -304,6 +341,7 @@ type wrap struct {
 	t     Technique
 	src   SourceKind
 	shift uint64
+	obs   *obs.Registry
 }
 
 func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
@@ -312,37 +350,72 @@ func (w *wrap) Insert(th *Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	return w.m.Insert(th, key+w.shift, val)
+	if w.obs == nil {
+		return w.m.Insert(th, key+w.shift, val)
+	}
+	start := time.Now()
+	ok := w.m.Insert(th, key+w.shift, val)
+	w.obs.ObserveOp(obs.OpUpdate, time.Since(start))
+	return ok
 }
 
 func (w *wrap) Delete(th *Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	return w.m.Delete(th, key+w.shift)
+	if w.obs == nil {
+		return w.m.Delete(th, key+w.shift)
+	}
+	start := time.Now()
+	ok := w.m.Delete(th, key+w.shift)
+	w.obs.ObserveOp(obs.OpUpdate, time.Since(start))
+	return ok
 }
 
 func (w *wrap) Contains(th *Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	return w.m.Contains(th, key+w.shift)
+	if w.obs == nil {
+		return w.m.Contains(th, key+w.shift)
+	}
+	start := time.Now()
+	ok := w.m.Contains(th, key+w.shift)
+	w.obs.ObserveOp(obs.OpContains, time.Since(start))
+	return ok
 }
 
 func (w *wrap) Get(th *Thread, key uint64) (uint64, bool) {
 	if key > MaxKey {
 		return 0, false
 	}
-	return w.m.Get(th, key+w.shift)
+	if w.obs == nil {
+		return w.m.Get(th, key+w.shift)
+	}
+	start := time.Now()
+	v, ok := w.m.Get(th, key+w.shift)
+	w.obs.ObserveOp(obs.OpContains, time.Since(start))
+	return v, ok
 }
 
 func (w *wrap) RangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV {
-	if lo > MaxKey {
+	if hi < lo || lo > MaxKey {
 		return buf
 	}
 	if hi > MaxKey {
 		hi = MaxKey
 	}
+	if w.obs == nil {
+		return w.rangeQuery(th, lo, hi, buf)
+	}
+	start := time.Now()
+	buf = w.rangeQuery(th, lo, hi, buf)
+	w.obs.ObserveOp(obs.OpRange, time.Since(start))
+	return buf
+}
+
+// rangeQuery is RangeQuery after interval clamping and instrumentation.
+func (w *wrap) rangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV {
 	base := len(buf)
 	buf = w.m.RangeQuery(th, lo+w.shift, hi+w.shift, buf)
 	if w.shift != 0 {
