@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench linearize
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,21 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: static checks plus race-enabled tests on
-# the concurrency-sensitive packages.
+# check is the pre-commit gate: static checks, race-enabled tests on the
+# concurrency-sensitive packages, and the short-mode linearizability
+# matrix (every supported structure x technique x source combination).
 check:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/epoch/... ./internal/linearize/...
+	$(GO) test -race -short -run TestLinearizability .
+
+# linearize runs the full-load linearizability matrix under the race
+# detector. Reproduce a failure with:
+#   go test -race -run 'TestLinearizability/<subtest>' . -linearize.seed=<seed>
+linearize:
+	$(GO) test -race -v -run TestLinearizability .
 
 bench:
 	$(GO) test -bench=. -benchtime=200ms -run=^$$ .

@@ -85,6 +85,10 @@ func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }
 // LimboLen reports retained limbo nodes (tests).
 func (t *EBRTree) LimboLen() int { return t.em.LimboLen() }
 
+// Drain eagerly advances the epoch and prunes every limbo list.
+// Quiescent use only, like Len.
+func (t *EBRTree) Drain() { t.em.DrainAll() }
+
 func (t *EBRTree) traverse(tid int, key uint64) (prev, curr *enode) {
 	t.rcu.ReadLock(tid)
 	prev = t.root

@@ -110,6 +110,42 @@ func TestBestIsMonotonicAcrossCalls(t *testing.T) {
 	}
 }
 
+// stalledSource freezes at v for stall reads before moving — the shape
+// of a Monotonic or TSCRaw source whose counter ties across
+// back-to-back reads (the §III-A corner case AdvanceStrict exists for).
+type stalledSource struct {
+	kind  Kind
+	v     uint64
+	stall int
+	calls int
+}
+
+func (s *stalledSource) Advance() TS {
+	s.calls++
+	if s.calls > s.stall {
+		s.v++
+	}
+	return s.v
+}
+func (s *stalledSource) Peek() TS     { return s.v }
+func (s *stalledSource) Snapshot() TS { return s.Advance() }
+func (s *stalledSource) Kind() Kind   { return s.kind }
+
+// AdvanceStrict must wait out a stall and return a strictly greater
+// timestamp, never a tie.
+func TestAdvanceStrictSpinsOutStalledSource(t *testing.T) {
+	for _, k := range []Kind{Monotonic, TSCRaw} {
+		s := &stalledSource{kind: k, v: 7, stall: 1000}
+		got := AdvanceStrict(s, 7)
+		if got != 8 {
+			t.Fatalf("%v: AdvanceStrict = %d, want 8", k, got)
+		}
+		if s.calls <= 1000 {
+			t.Fatalf("%v: returned after %d reads without waiting out the stall", k, s.calls)
+		}
+	}
+}
+
 func TestAdvanceStrict(t *testing.T) {
 	for _, k := range []Kind{Logical, TSC, Monotonic} {
 		s := New(k)

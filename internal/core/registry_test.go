@@ -46,6 +46,35 @@ func TestDoubleReleaseNeverOverfillsRegistry(t *testing.T) {
 	}
 }
 
+// Exhaustion and reuse: a full registry errors cleanly on the next
+// Register, a Release makes exactly that slot available again, and the
+// capacity bound still holds afterwards.
+func TestRegistryExhaustionAndReuse(t *testing.T) {
+	r := NewRegistry(3)
+	ths := make([]*Thread, 3)
+	for i := range ths {
+		th, err := r.Register()
+		if err != nil {
+			t.Fatalf("register %d of 3: %v", i+1, err)
+		}
+		ths[i] = th
+	}
+	if _, err := r.Register(); err == nil {
+		t.Fatal("full registry handed out a fourth slot")
+	}
+	ths[1].Release()
+	th, err := r.Register()
+	if err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+	if th.ID != ths[1].ID {
+		t.Fatalf("reuse handed slot %d, want released slot %d", th.ID, ths[1].ID)
+	}
+	if _, err := r.Register(); err == nil {
+		t.Fatal("registry overfilled after reuse")
+	}
+}
+
 // Race-focused churn over register/announce/release (run with -race; the
 // make check target does). Every goroutine loops obtaining a handle,
 // announcing a range query through it, and releasing it — with a rogue

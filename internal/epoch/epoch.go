@@ -33,6 +33,17 @@ const quiescent = ^uint64(0)
 // attempts by one thread.
 const pruneInterval = 64
 
+// drainInterval is how many unpins pass between prune/advance attempts
+// by a thread whose limbo list is non-empty. Without it a thread that
+// stops retiring (updates cease, reads continue) would never drain its
+// limbo list.
+const drainInterval = 64
+
+// drainRounds bounds Drain's advance/prune attempts. Two successive
+// epoch advances make any quiescent retirement reclaimable, so a third
+// round only mops up items retired mid-drain.
+const drainRounds = 3
+
 type limboNode[T any] struct {
 	item  T
 	epoch uint64
@@ -43,7 +54,8 @@ type slot[T any] struct {
 	local   core.PaddedUint64 // epoch observed while pinned; quiescent otherwise
 	head    atomic.Pointer[limboNode[T]]
 	retires int // owner-local counter
-	_       [40]byte
+	unpins  int // owner-local counter
+	_       [32]byte
 }
 
 // Manager coordinates epochs and limbo lists for up to a fixed number of
@@ -59,6 +71,12 @@ type Manager[T any] struct {
 	// the current population). Nil disables reporting.
 	gc    *obs.GC
 	slots []slot[T]
+	// pinHook, when set, runs inside Pin between reading the global
+	// epoch and publishing it — the window in which concurrent
+	// tryAdvance passes cannot see the thread. Tests use it to provoke
+	// that window deterministically; it must be set before the manager
+	// sees concurrent traffic.
+	pinHook func()
 }
 
 // NewManager creates a manager for maxThreads threads. retain and minRQ
@@ -83,13 +101,75 @@ func (m *Manager[T]) SetGC(g *obs.GC) { m.gc = g }
 
 // Pin enters an epoch-protected region for thread tid. Every data
 // structure operation (including range queries) runs pinned.
+//
+// Publication must loop: a single load-then-store leaves a window in
+// which the thread is still quiescent to tryAdvance. If the global
+// epoch moved twice in that window, the thread would end up published
+// two epochs behind, Prune's two-epoch safety margin would be void, and
+// a node the thread is about to traverse could be dropped. Pin
+// therefore re-reads the global after publishing and repeats until the
+// published value is current; from then on the global can move at most
+// one epoch past this thread until it unpins.
 func (m *Manager[T]) Pin(tid int) {
-	m.slots[tid].local.Store(m.global.Load())
+	s := &m.slots[tid]
+	for {
+		g := m.global.Load()
+		if h := m.pinHook; h != nil {
+			h()
+		}
+		s.local.Store(g)
+		if m.global.Load() == g {
+			return
+		}
+	}
 }
 
-// Unpin leaves the epoch-protected region.
+// Unpin leaves the epoch-protected region. A thread with a non-empty
+// limbo list periodically attempts epoch advancement and pruning here,
+// so limbo lists drain even when the thread stops retiring (updates
+// cease, reads continue).
 func (m *Manager[T]) Unpin(tid int) {
-	m.slots[tid].local.Store(quiescent)
+	s := &m.slots[tid]
+	s.local.Store(quiescent)
+	if s.head.Load() == nil {
+		return
+	}
+	s.unpins++
+	if s.unpins%drainInterval == 0 {
+		m.tryAdvance()
+		m.Prune(tid)
+	}
+}
+
+// Drain aggressively advances the epoch and prunes tid's limbo list,
+// for quiescent paths that want retained memory released without
+// waiting out the amortized schedules. It may be called by the owning
+// thread at any time; pinned threads and active range queries still
+// block reclamation as usual.
+func (m *Manager[T]) Drain(tid int) {
+	for i := 0; i < drainRounds && m.slots[tid].head.Load() != nil; i++ {
+		m.tryAdvance()
+		m.Prune(tid)
+	}
+}
+
+// DrainAll drains every thread's limbo list. Unlike Drain it violates
+// the lists' single-writer discipline, so it is for quiescent use only
+// (no concurrent operations), like Len on the data structures.
+func (m *Manager[T]) DrainAll() {
+	for round := 0; round < drainRounds; round++ {
+		m.tryAdvance()
+		empty := true
+		for tid := range m.slots {
+			if m.slots[tid].head.Load() != nil {
+				m.Prune(tid)
+				empty = false
+			}
+		}
+		if empty {
+			return
+		}
+	}
 }
 
 // GlobalEpoch returns the current global epoch (diagnostics and tests).

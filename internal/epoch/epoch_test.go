@@ -119,6 +119,134 @@ func TestRetentionHoldsItemsForActiveRQ(t *testing.T) {
 	}
 }
 
+// Regression for the Pin publication race: a thread delayed between
+// loading the global epoch and publishing it is invisible to concurrent
+// tryAdvance passes. If the epoch moved twice in that window, the old
+// single-store Pin left the thread published two epochs behind —
+// outside Prune's two-epoch safety margin — so Prune could drop a node
+// the thread was about to traverse. Fixed Pin re-reads the global and
+// loops until the published value is current.
+func TestPinPublicationRace(t *testing.T) {
+	m := NewManager[item](2, nil, nil)
+	fired := false
+	m.pinHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// Two tryAdvance passes run to completion inside the window,
+		// neither seeing the in-flight pin.
+		m.global.Add(2)
+	}
+	m.Pin(0)
+	if got, g := m.slots[0].local.Load(), m.global.Load(); got != g {
+		t.Fatalf("Pin published epoch %d while global is %d: two prune passes can miss this thread", got, g)
+	}
+	m.Unpin(0)
+}
+
+// With the looped Pin, a pinned thread can never trail the global epoch
+// by two — the bound Prune's safety margin depends on. Stress it with
+// concurrent retirement-driven advancement (meaningful under -race and
+// on the pre-fix Pin).
+func TestPinnedThreadNeverTrailsByTwo(t *testing.T) {
+	m := NewManager[item](4, nil, nil)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // advance pressure
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				m.Retire(0, item{key: uint64(i)})
+			}
+		}
+	}()
+	for i := 0; i < 3000; i++ {
+		m.Pin(1)
+		// While thread 1 stays pinned at l, tryAdvance cannot move the
+		// global past l+1.
+		for k := 0; k < 4; k++ {
+			l := m.slots[1].local.Load()
+			if g := m.global.Load(); g > l+1 {
+				close(done)
+				t.Fatalf("iteration %d: pinned at %d but global reached %d", i, l, g)
+			}
+		}
+		m.Unpin(1)
+	}
+	close(done)
+	wg.Wait()
+}
+
+// Regression for unbounded limbo growth: once updates cease, read-only
+// traffic (pin/unpin) must still drain the limbo lists to zero.
+func TestLimboDrainsAfterUpdatesCease(t *testing.T) {
+	m := NewManager[item](2, retainByDtime, func() core.TS { return core.Pending })
+	for i := 0; i < 100; i++ {
+		m.Pin(0)
+		m.Retire(0, item{key: uint64(i), dtime: core.TS(i)})
+		m.Unpin(0)
+	}
+	if m.LimboLen() == 0 {
+		t.Fatal("test needs a non-empty limbo list to be meaningful")
+	}
+	for i := 0; i < 8*drainInterval && m.LimboLen() > 0; i++ {
+		m.Pin(0)
+		m.Unpin(0)
+	}
+	if n := m.LimboLen(); n != 0 {
+		t.Fatalf("limbo list never drained under read-only traffic: %d items", n)
+	}
+}
+
+func TestDrainEmptiesLimboImmediately(t *testing.T) {
+	m := NewManager[item](2, retainByDtime, func() core.TS { return core.Pending })
+	for i := 0; i < 10; i++ {
+		m.Retire(0, item{key: uint64(i), dtime: core.TS(i)})
+		m.Retire(1, item{key: uint64(100 + i), dtime: core.TS(i)})
+	}
+	m.Drain(0)
+	perThread := 0
+	m.ForEachRetired(func(it item) bool {
+		if it.key < 100 {
+			perThread++
+		}
+		return true
+	})
+	if perThread != 0 {
+		t.Fatalf("Drain(0) left %d items on thread 0's list", perThread)
+	}
+	m.DrainAll()
+	if n := m.LimboLen(); n != 0 {
+		t.Fatalf("DrainAll left %d items", n)
+	}
+}
+
+// Drain must respect retention: items an active range query still needs
+// survive it.
+func TestDrainRespectsActiveRQ(t *testing.T) {
+	minRQ := core.TS(5)
+	m := NewManager[item](2, retainByDtime, func() core.TS { return minRQ })
+	for i := 0; i < 10; i++ {
+		m.Retire(0, item{key: uint64(i), dtime: core.TS(i)})
+	}
+	m.Drain(0)
+	held := 0
+	m.ForEachRetired(func(it item) bool {
+		if it.dtime >= minRQ {
+			held++
+		}
+		return true
+	})
+	if held != 5 {
+		t.Fatalf("Drain dropped items an active RQ needs: %d of 5 held", held)
+	}
+}
+
 func TestConcurrentRetireAndScan(t *testing.T) {
 	m := NewManager[item](8, retainByDtime, func() core.TS { return 0 }) // retain all
 	var wg sync.WaitGroup

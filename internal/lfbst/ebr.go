@@ -125,6 +125,10 @@ func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }
 // LimboLen reports retained limbo leaves (tests).
 func (t *EBRTree) LimboLen() int { return t.em.LimboLen() }
 
+// Drain eagerly advances the epoch and prunes every limbo list.
+// Quiescent use only, like Len.
+func (t *EBRTree) Drain() { t.em.DrainAll() }
+
 func (t *EBRTree) child(n *enode, key uint64) *atomic.Pointer[enode] {
 	if key < n.key {
 		return &n.left

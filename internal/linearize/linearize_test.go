@@ -1,0 +1,228 @@
+package linearize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tscds"
+)
+
+func uev(op OpKind, key, val uint64, inv, ret int64, ok bool) Event {
+	return Event{Op: op, Key: key, Val: val, Inv: inv, Ret: ret, OK: ok}
+}
+
+func rqev(lo, hi uint64, inv, ret int64, kvs ...tscds.KV) Event {
+	return Event{Op: OpRange, Lo: lo, Hi: hi, Inv: inv, Ret: ret, KVs: kvs}
+}
+
+func hist(events ...Event) *History {
+	return &History{Cfg: Config{Seed: 1}.withDefaults(), Threads: [][]Event{events}}
+}
+
+func TestCheckAcceptsSequentialHistory(t *testing.T) {
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		rqev(0, 10, 2, 3, tscds.KV{Key: 1, Val: 100}),
+		uev(OpContains, 1, 0, 4, 5, true),
+		uev(OpDelete, 1, 0, 6, 7, true),
+		rqev(0, 10, 8, 9),
+		uev(OpContains, 1, 0, 10, 11, false),
+	)
+	if err := Check(h); err != nil {
+		t.Fatalf("legal history rejected: %v", err)
+	}
+}
+
+func TestCheckAcceptsConcurrentAmbiguity(t *testing.T) {
+	// An insert overlapping a range query may or may not be observed;
+	// both outcomes must pass.
+	for _, observed := range []bool{false, true} {
+		kvs := []tscds.KV{}
+		if observed {
+			kvs = append(kvs, tscds.KV{Key: 1, Val: 100})
+		}
+		h := hist(
+			uev(OpInsert, 1, 100, 0, 10, true),
+			rqev(0, 10, 4, 6, kvs...),
+		)
+		if err := Check(h); err != nil {
+			t.Fatalf("observed=%v: concurrent overlap rejected: %v", observed, err)
+		}
+	}
+}
+
+func TestCheckRejectsStaleSnapshot(t *testing.T) {
+	// The pair was deleted strictly before the query began.
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		uev(OpDelete, 1, 0, 2, 3, true),
+		rqev(0, 10, 4, 5, tscds.KV{Key: 1, Val: 100}),
+	)
+	err := Check(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("stale snapshot accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsMissingKey(t *testing.T) {
+	// The key is certainly present throughout the query, yet missing.
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		rqev(0, 10, 2, 3),
+	)
+	if err := Check(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("dropped key accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsNonAtomicSnapshot(t *testing.T) {
+	// v1's lifetime certainly ends (by 11) before v2's can begin (20),
+	// yet one "snapshot" observed both.
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		uev(OpDelete, 1, 0, 10, 11, true),
+		uev(OpInsert, 2, 200, 20, 21, true),
+		rqev(0, 10, 0, 30, tscds.KV{Key: 1, Val: 100}, tscds.KV{Key: 2, Val: 200}),
+	)
+	err := Check(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("non-atomic snapshot accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no common snapshot instant") {
+		t.Fatalf("unexpected violation detail: %v", err)
+	}
+}
+
+func TestCheckRejectsPhantomValue(t *testing.T) {
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		rqev(0, 10, 2, 3, tscds.KV{Key: 1, Val: 999}),
+	)
+	if err := Check(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("phantom value accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsImpossibleReads(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *History
+	}{
+		{"contains-false-on-present", hist(
+			uev(OpInsert, 1, 100, 0, 1, true),
+			uev(OpContains, 1, 0, 2, 3, false),
+		)},
+		{"contains-true-on-absent", hist(
+			uev(OpContains, 1, 0, 0, 1, true),
+		)},
+		{"failed-insert-on-absent", hist(
+			uev(OpInsert, 1, 100, 0, 1, false),
+		)},
+		{"failed-delete-on-present", hist(
+			uev(OpInsert, 1, 100, 0, 1, true),
+			uev(OpDelete, 1, 0, 2, 3, false),
+		)},
+		{"get-wrong-value", hist(
+			uev(OpInsert, 1, 100, 0, 1, true),
+			uev(OpGet, 1, 101, 2, 3, true),
+		)},
+	}
+	for _, c := range cases {
+		if err := Check(c.h); !errors.Is(err, ErrNotLinearizable) {
+			t.Errorf("%s: accepted: %v", c.name, err)
+		}
+	}
+}
+
+func TestCheckRejectsUnorderableUpdates(t *testing.T) {
+	// Two successful inserts of one key with no delete between them can
+	// belong to no sequential execution.
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 1, true),
+		uev(OpInsert, 1, 101, 2, 3, true),
+	)
+	err := Check(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("double insert accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "alternation") {
+		t.Fatalf("unexpected violation detail: %v", err)
+	}
+}
+
+func TestOrderUpdatesRespectsRealTime(t *testing.T) {
+	// I_a [0,10], D [5,6], I_b [7,20]: D finishes before I_b begins, so
+	// the only witness is I_a, D, I_b.
+	ia := uev(OpInsert, 1, 100, 0, 10, true)
+	d := uev(OpDelete, 1, 0, 5, 6, true)
+	ib := uev(OpInsert, 1, 101, 7, 20, true)
+	order, ok := orderUpdates([]upd{
+		{e: &ib, insert: true}, {e: &d, insert: false}, {e: &ia, insert: true},
+	})
+	if !ok {
+		t.Fatal("no witness order found")
+	}
+	got := []uint64{order[0].e.Val, order[2].e.Val}
+	if got[0] != 100 || order[1].e.Op != OpDelete || got[1] != 101 {
+		t.Fatalf("witness order wrong: %v", got)
+	}
+}
+
+func TestCoversMergesSpans(t *testing.T) {
+	if !covers([]span{{0, 4}, {5, 10}}, 0, 10) {
+		t.Fatal("adjacent spans should cover")
+	}
+	if covers([]span{{0, 4}, {6, 10}}, 0, 10) {
+		t.Fatal("gap at 5 should not cover")
+	}
+	if covers(nil, 3, 3) {
+		t.Fatal("empty spans cover nothing")
+	}
+}
+
+// The acceptance criterion's proof that the checker can actually fail:
+// a deliberately broken snapshot (fault-injection hook) is detected on a
+// real map.
+func TestCheckerDetectsInjectedFault(t *testing.T) {
+	m, err := tscds.New(tscds.BST, tscds.VCAS, tscds.Config{Source: tscds.Logical, MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunAndCheck(m, Config{
+		Workers: 4, Ops: 300, RangePct: 40, FaultRate: 1, Seed: 7,
+	})
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("injected faults went undetected: %v", err)
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	m, err := tscds.New(tscds.SkipList, tscds.Bundle, tscds.Config{Source: tscds.TSC, MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := RunAndCheck(m, Config{Workers: 4, Ops: 400, Seed: 3})
+	if err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if h.Events() != 4*400+len(h.Threads[4]) {
+		t.Fatalf("history incomplete: %s", h.Summary())
+	}
+}
+
+// Oversubscribing the registry must surface as an error from Run, never
+// a panic, and must release any handles it did obtain.
+func TestRunSurfacesRegistryExhaustion(t *testing.T) {
+	m, err := tscds.New(tscds.BST, tscds.VCAS, tscds.Config{Source: tscds.Logical, MaxThreads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Config{Workers: 8, Ops: 10}); err == nil {
+		t.Fatal("oversubscribed run did not error")
+	}
+	// The failed attempt released its handles: a right-sized run fits.
+	if _, err := Run(m, Config{Workers: 2, Ops: 10}); err != nil {
+		t.Fatalf("handles leaked by failed run: %v", err)
+	}
+}

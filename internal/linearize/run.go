@@ -1,0 +1,154 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tscds"
+)
+
+// value encodes a globally unique inserted value: thread in the high
+// bits, a per-thread sequence number below. Bit 63 is never set, which
+// the fault injector exploits to fabricate impossible observations.
+func value(tid int, seq uint64) uint64 {
+	return uint64(tid+1)<<40 | (seq & (1<<40 - 1))
+}
+
+// Run drives m with cfg.Workers goroutines for cfg.Ops operations each
+// and returns the recorded history. The map must have been constructed
+// with capacity for Workers+1 thread handles; registry exhaustion is
+// surfaced as an error, never a panic.
+func Run(m tscds.Map, cfg Config) (*History, error) {
+	cfg = cfg.withDefaults()
+
+	// Register every handle up front so oversubscription fails fast.
+	pref, err := m.RegisterThread()
+	if err != nil {
+		return nil, fmt.Errorf("linearize: registering prefill thread: %w", err)
+	}
+	defer pref.Release()
+	ths := make([]*tscds.Thread, cfg.Workers)
+	for i := range ths {
+		th, err := m.RegisterThread()
+		if err != nil {
+			for _, t := range ths[:i] {
+				t.Release()
+			}
+			return nil, fmt.Errorf("linearize: registering worker %d of %d: %w",
+				i+1, cfg.Workers, err)
+		}
+		ths[i] = th
+	}
+	defer func() {
+		for _, t := range ths {
+			t.Release()
+		}
+	}()
+
+	base := time.Now()
+	stamp := func() int64 { return int64(time.Since(base)) }
+
+	h := &History{Cfg: cfg, Threads: make([][]Event, cfg.Workers+1)}
+
+	// Sequential prefill, recorded like any other events so the checker
+	// needs no special initial state.
+	prng := rand.New(rand.NewSource(cfg.Seed))
+	prefillTid := cfg.Workers
+	var pseq uint64
+	plog := make([]Event, 0, cfg.Prefill)
+	for inserted := 0; inserted < cfg.Prefill; {
+		key := prng.Uint64() % cfg.KeyRange
+		pseq++
+		v := value(prefillTid, pseq)
+		ev := Event{Op: OpInsert, Thread: prefillTid, Key: key, Val: v}
+		ev.Inv = stamp()
+		ev.OK = m.Insert(pref, key, v)
+		ev.Ret = stamp()
+		plog = append(plog, ev)
+		if ev.OK {
+			inserted++
+		}
+	}
+	h.Threads[prefillTid] = plog
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < cfg.Workers; tid++ {
+		wg.Add(1)
+		go func(tid int, th *tscds.Thread) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(tid) + 1))
+			log := make([]Event, 0, cfg.Ops)
+			var seq uint64
+			for i := 0; i < cfg.Ops; i++ {
+				p := rng.Intn(100)
+				key := rng.Uint64() % cfg.KeyRange
+				var ev Event
+				ev.Thread = tid
+				switch {
+				case p < cfg.InsertPct:
+					seq++
+					v := value(tid, seq)
+					ev.Op, ev.Key, ev.Val = OpInsert, key, v
+					ev.Inv = stamp()
+					ev.OK = m.Insert(th, key, v)
+					ev.Ret = stamp()
+				case p < cfg.InsertPct+cfg.DeletePct:
+					ev.Op, ev.Key = OpDelete, key
+					ev.Inv = stamp()
+					ev.OK = m.Delete(th, key)
+					ev.Ret = stamp()
+				case p < cfg.InsertPct+cfg.DeletePct+cfg.RangePct:
+					lo := rng.Uint64() % cfg.KeyRange
+					hi := lo + rng.Uint64()%cfg.RangeSpan
+					ev.Op, ev.Lo, ev.Hi = OpRange, lo, hi
+					ev.Inv = stamp()
+					kvs := m.RangeQuery(th, lo, hi, nil)
+					ev.Ret = stamp()
+					if cfg.FaultRate > 0 && rng.Float64() < cfg.FaultRate {
+						kvs = corrupt(rng, kvs, lo)
+					}
+					ev.KVs = kvs
+				case p < cfg.InsertPct+cfg.DeletePct+cfg.RangePct+cfg.GetPct:
+					ev.Op, ev.Key = OpGet, key
+					ev.Inv = stamp()
+					ev.Val, ev.OK = m.Get(th, key)
+					ev.Ret = stamp()
+				default:
+					ev.Op, ev.Key = OpContains, key
+					ev.Inv = stamp()
+					ev.OK = m.Contains(th, key)
+					ev.Ret = stamp()
+				}
+				log = append(log, ev)
+			}
+			h.Threads[tid] = log
+		}(tid, ths[tid])
+	}
+	wg.Wait()
+	return h, nil
+}
+
+// corrupt perturbs a recorded range-query result: it flips bit 63 of one
+// observed value, or fabricates a phantom pair when the result is empty.
+// Harness values never set bit 63, so either mutation is impossible in a
+// real history and a working checker must flag it.
+func corrupt(rng *rand.Rand, kvs []tscds.KV, lo uint64) []tscds.KV {
+	out := append([]tscds.KV(nil), kvs...)
+	if len(out) == 0 {
+		return append(out, tscds.KV{Key: lo, Val: 1 << 63})
+	}
+	out[rng.Intn(len(out))].Val ^= 1 << 63
+	return out
+}
+
+// RunAndCheck runs the harness and immediately checks the history,
+// returning the history for logging alongside any violation.
+func RunAndCheck(m tscds.Map, cfg Config) (*History, error) {
+	h, err := Run(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h, Check(h)
+}

@@ -81,6 +81,10 @@ func (t *EBRList) SetGC(g *obs.GC) { t.em.SetGC(g) }
 // LimboLen reports retained limbo nodes (tests).
 func (t *EBRList) LimboLen() int { return t.em.LimboLen() }
 
+// Drain eagerly advances the epoch and prunes every limbo list.
+// Quiescent use only, like Len.
+func (t *EBRList) Drain() { t.em.DrainAll() }
+
 func (t *EBRList) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
 	if x == 0 {

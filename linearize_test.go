@@ -1,0 +1,80 @@
+package tscds_test
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tscds"
+	"tscds/internal/linearize"
+)
+
+// linSeed pins the harness workload so a failing run can be replayed:
+//
+//	go test -race -run 'TestLinearizability/<subtest>' . -linearize.seed=<seed>
+var linSeed = flag.Int64("linearize.seed", 1, "workload seed for the linearizability matrix")
+
+// linTriple is one cell of the correctness matrix.
+type linTriple struct {
+	S   tscds.Structure
+	T   tscds.Technique
+	Src tscds.SourceKind
+}
+
+// linMatrix enumerates every (structure, technique, source) combination
+// tscds.New accepts, discovered by construction so the matrix can never
+// silently lag the constructor.
+func linMatrix() []linTriple {
+	var out []linTriple
+	for _, s := range []tscds.Structure{tscds.BST, tscds.Citrus, tscds.SkipList, tscds.LazyList, tscds.NMBST} {
+		for _, tech := range []tscds.Technique{tscds.VCAS, tscds.Bundle, tscds.EBRRQ, tscds.EBRRQLockFree} {
+			for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC, tscds.Monotonic} {
+				if _, err := tscds.New(s, tech, tscds.Config{Source: src}); err == nil {
+					out = append(out, linTriple{s, tech, src})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestLinearizability is the paper's claim under stress: for every
+// supported combination, concurrent range queries, point reads and
+// updates recorded by the harness admit a sequential witness. Short
+// mode (wired into `make check` and CI) runs a reduced load; the full
+// load runs under `make linearize`.
+func TestLinearizability(t *testing.T) {
+	triples := linMatrix()
+	if len(triples) == 0 {
+		t.Fatal("matrix is empty")
+	}
+	for _, tr := range triples {
+		tr := tr
+		name := fmt.Sprintf("%v-%v-%v", tr.S, tr.T, tr.Src)
+		name = strings.ReplaceAll(name, " ", "_")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := linearize.Config{Seed: *linSeed, Workers: 4, Ops: 2500}
+			if testing.Short() {
+				cfg.Ops = 500
+			}
+			if tr.S == tscds.LazyList {
+				cfg.Ops /= 2 // O(n) traversals
+			}
+			m, err := tscds.New(tr.S, tr.T, tscds.Config{
+				Source:     tr.Src,
+				MaxThreads: cfg.Workers + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := linearize.RunAndCheck(m, cfg)
+			if err != nil {
+				t.Fatalf("%v\nreproduce: go test -race -run 'TestLinearizability/%s' . -linearize.seed=%d",
+					err, name, cfg.Seed)
+			}
+			t.Logf("%s", h.Summary())
+		})
+	}
+}

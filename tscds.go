@@ -6,14 +6,16 @@
 // counter (the baseline) and the CPU's invariant TSC read with
 // RDTSCP;LFENCE (the paper's contribution).
 //
-// Three range-query techniques are provided over four structures:
+// Three range-query techniques are provided over five structures. New
+// accepts exactly the combinations below (TestNewFullCrossProduct
+// asserts the table against the constructor):
 //
 //	Structure   vCAS   Bundle   EBR-RQ(lock)   EBR-RQ(lock-free)
-//	BST          x                  x             x (logical only)
-//	NMBST        x
-//	Citrus       x       x          x             x (logical only)
-//	SkipList     x       x          x             x (logical only)
-//	LazyList     x       x
+//	BST          yes    -        yes            Logical source only
+//	NMBST        yes    -        -              -
+//	Citrus       yes    yes      yes            Logical source only
+//	SkipList     yes    yes      yes            Logical source only
+//	LazyList     yes    yes      -              -
 //
 // The skip list's vCAS and EBR-RQ pairings reproduce results the paper
 // built but omitted (no TSC gain was observed on them).
@@ -185,6 +187,10 @@ type Map interface {
 	Scan(th *Thread, lo, hi uint64, fn func(KV) bool)
 	// Len counts keys; quiescent use only.
 	Len() int
+	// Drain eagerly releases memory retained for in-flight readers
+	// (EBR-RQ limbo lists); a no-op for techniques that reclaim inline
+	// (vCAS, bundles). Quiescent use only, like Len.
+	Drain()
 	// Structure and Technique identify the composition.
 	Structure() Structure
 	Technique() Technique
@@ -436,7 +442,20 @@ func (w *wrap) Scan(th *Thread, lo, hi uint64, fn func(KV) bool) {
 	}
 }
 
-func (w *wrap) Len() int             { return w.m.Len() }
+// Len counts keys. As a quiescent path it also drains retained limbo
+// memory, so long-running callers polling Len keep the heap bounded
+// even when updates have ceased.
+func (w *wrap) Len() int {
+	w.Drain()
+	return w.m.Len()
+}
+
+func (w *wrap) Drain() {
+	if d, ok := w.m.(interface{ Drain() }); ok {
+		d.Drain()
+	}
+}
+
 func (w *wrap) Structure() Structure { return w.s }
 func (w *wrap) Technique() Technique { return w.t }
 func (w *wrap) Source() SourceKind   { return w.src }

@@ -48,6 +48,112 @@ func TestNewValidCombosBothSources(t *testing.T) {
 	}
 }
 
+// TestNewFullCrossProduct exercises New over the complete
+// Structure x Technique x Source cross-product, asserting that exactly
+// the combinations documented in the package comment's table succeed
+// (the lock-free EBR-RQ column additionally requires a Logical source).
+func TestNewFullCrossProduct(t *testing.T) {
+	type pair struct {
+		S Structure
+		T Technique
+	}
+	documented := map[pair]bool{
+		{BST, VCAS}: true, {BST, EBRRQ}: true, {BST, EBRRQLockFree}: true,
+		{NMBST, VCAS}:  true,
+		{Citrus, VCAS}: true, {Citrus, Bundle}: true, {Citrus, EBRRQ}: true, {Citrus, EBRRQLockFree}: true,
+		{SkipList, VCAS}: true, {SkipList, Bundle}: true, {SkipList, EBRRQ}: true, {SkipList, EBRRQLockFree}: true,
+		{LazyList, VCAS}: true, {LazyList, Bundle}: true,
+	}
+	for _, s := range []Structure{BST, Citrus, SkipList, LazyList, NMBST} {
+		for _, tech := range []Technique{VCAS, Bundle, EBRRQ, EBRRQLockFree} {
+			for _, src := range []SourceKind{Logical, TSC, Monotonic} {
+				want := documented[pair{s, tech}] &&
+					(tech != EBRRQLockFree || src == Logical)
+				m, err := New(s, tech, Config{Source: src})
+				if want && err != nil {
+					t.Errorf("New(%v, %v, %v) rejected a documented combination: %v", s, tech, src, err)
+				}
+				if !want && err == nil {
+					t.Errorf("New(%v, %v, %v) accepted an undocumented combination", s, tech, src)
+				}
+				if err == nil && (m.Structure() != s || m.Technique() != tech || m.Source() != src) {
+					t.Errorf("New(%v, %v, %v): identity mismatch", s, tech, src)
+				}
+			}
+		}
+	}
+}
+
+// Regression for unbounded limbo growth: once updates cease, the EBR-RQ
+// limbo lists must converge to empty — via read-only traffic (the
+// amortized Unpin path) and via the explicit quiescent Drain.
+func TestLimboConvergesAfterTrafficStops(t *testing.T) {
+	for _, c := range []struct {
+		S Structure
+		T Technique
+	}{{BST, EBRRQ}, {Citrus, EBRRQ}, {SkipList, EBRRQ}} {
+		t.Run(fmt.Sprintf("%v-%v", c.S, c.T), func(t *testing.T) {
+			met := NewMetrics()
+			m, err := New(c.S, c.T, Config{Source: TSC, MaxThreads: 4, Metrics: met})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := m.RegisterThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer th.Release()
+			populate := func() {
+				for k := uint64(0); k < 300; k++ {
+					m.Insert(th, k, k)
+				}
+				for k := uint64(0); k < 300; k++ {
+					m.Delete(th, k)
+				}
+				if met.GC.LimboLen.Load() == 0 {
+					t.Fatal("deletes produced no limbo pressure; test is vacuous")
+				}
+			}
+			// Updates cease; read-only traffic alone must drain limbo.
+			populate()
+			for i := 0; i < 2000 && met.GC.LimboLen.Load() > 0; i++ {
+				m.Contains(th, uint64(i)%300)
+			}
+			if n := met.GC.LimboLen.Load(); n != 0 {
+				t.Fatalf("limbo stuck at %d after read-only traffic", n)
+			}
+			// And the explicit quiescent drain empties it immediately.
+			populate()
+			m.Drain()
+			if n := met.GC.LimboLen.Load(); n != 0 {
+				t.Fatalf("limbo stuck at %d after Drain", n)
+			}
+		})
+	}
+}
+
+// RegisterThread exhaustion surfaces as a clean error through the
+// facade, and a released handle's slot is reusable.
+func TestRegisterThreadExhaustionAndReuse(t *testing.T) {
+	m, err := New(BST, VCAS, Config{MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterThread(); err == nil {
+		t.Fatal("oversubscribed RegisterThread did not error")
+	}
+	th.Release()
+	th2, err := m.RegisterThread()
+	if err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+	th2.Release()
+}
+
 func TestNewRejectsInvalidCombos(t *testing.T) {
 	bad := []struct {
 		S Structure
@@ -268,8 +374,13 @@ func TestScanStreamsSortedAndStopsEarly(t *testing.T) {
 			return count < 2
 		})
 		if count != 2 {
-			t.Fatalf("%v/%v: early stop visited %d", c.S, c.T, count)
+			t.Fatalf("%v/%v: fn called after returning false (visited %d)", c.S, c.T, count)
 		}
+		// An empty interval (hi < lo) never calls fn.
+		m.Scan(th, 8, 2, func(kv KV) bool {
+			t.Fatalf("%v/%v: empty interval called fn with %v", c.S, c.T, kv)
+			return true
+		})
 		th.Release()
 	}
 }
