@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"tscds"
@@ -27,6 +28,7 @@ func main() {
 	nativeDuration := flag.Duration("native-duration", 300*time.Millisecond, "native per-trial duration")
 	nativeKeys := flag.Uint64("native-keyrange", 100_000, "native key range")
 	metrics := flag.Bool("metrics", false, "dump a metrics snapshot (JSON) per native arm")
+	traceFlag := flag.Bool("trace", false, "print per-phase flight-trace breakdowns per native arm")
 	out := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 	var w io.Writer = os.Stdout
@@ -86,7 +88,7 @@ func main() {
 	fmt.Fprintln(w, "Low core counts mute the contention the paper measures; these verify")
 	fmt.Fprintln(w, "the real implementations run and order sanely, not absolute shapes.")
 	fmt.Fprintln(w)
-	native(w, *nativeDuration, *nativeKeys, *metrics)
+	native(w, *nativeDuration, *nativeKeys, *metrics, *traceFlag)
 }
 
 func reportFig1(w io.Writer, panels []sim.Panel) {
@@ -107,7 +109,7 @@ func reportFig1(w io.Writer, panels []sim.Panel) {
 	fmt.Fprintln(w)
 }
 
-func native(w io.Writer, d time.Duration, keyRange uint64, metrics bool) {
+func native(w io.Writer, d time.Duration, keyRange uint64, metrics, traceOn bool) {
 	combos := []struct {
 		label string
 		s     tscds.Structure
@@ -127,10 +129,14 @@ func native(w io.Writer, d time.Duration, keyRange uint64, metrics bool) {
 		wl.KeyRange = keyRange
 		var cells [2]string
 		var snaps [2]string
+		var traces [2]string
 		for i, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
 			cfg := tscds.Config{Source: src, MaxThreads: 256}
 			if metrics {
 				cfg.Metrics = tscds.NewMetrics()
+			}
+			if traceOn {
+				cfg.Trace = &tscds.TraceConfig{}
 			}
 			mp, err := tscds.New(c.s, c.t, cfg)
 			if err != nil {
@@ -152,12 +158,28 @@ func native(w io.Writer, d time.Duration, keyRange uint64, metrics bool) {
 			if cfg.Metrics != nil {
 				snaps[i] = cfg.Metrics.String()
 			}
+			if traceOn {
+				traces[i] = mp.TraceSnapshot(false).Format()
+			}
 		}
 		fmt.Fprintf(w, "%-32s %14s %14s\n", c.label, cells[0], cells[1])
 		if metrics {
 			fmt.Fprintf(w, "  metrics Logical: %s\n  metrics RDTSCP:  %s\n", snaps[0], snaps[1])
 		}
+		if traceOn {
+			fmt.Fprintf(w, "  trace Logical:\n%s  trace RDTSCP:\n%s", indent(traces[0]), indent(traces[1]))
+		}
 	}
+}
+
+// indent shifts a multi-line block right by two spaces for nesting under
+// an arm's row.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -12,15 +12,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tscds"
 	"tscds/internal/bench"
+	"tscds/internal/obs"
 	"tscds/internal/sim"
+	"tscds/internal/tsc"
 )
 
 type arm struct {
@@ -38,26 +43,132 @@ type figure struct {
 // figuresOverride is set by -custom.
 var figuresOverride *figure
 
-// metricsOn is set by -metrics.
-var metricsOn bool
+// metricsOn is set by -metrics, traceOn by -trace.
+var (
+	metricsOn bool
+	traceOn   bool
+)
+
+// curMetrics and curTracer always point at the arm currently running, so
+// the -serve endpoint reads live state across arm changes. tscHealth is
+// the process-wide TSC health monitor (-trace only).
+var (
+	curMetrics atomic.Pointer[tscds.Metrics]
+	curTracer  atomic.Pointer[tscds.Tracer]
+	tscHealth  *tsc.Health
+)
 
 // newMap builds an arm's map, attaching a fresh metrics registry when
-// -metrics is set.
+// -metrics is set and a flight recorder when -trace is set.
 func newMap(s tscds.Structure, t tscds.Technique, src tscds.SourceKind) (tscds.Map, *tscds.Metrics, error) {
 	cfg := tscds.Config{Source: src, MaxThreads: 512}
 	if metricsOn {
 		cfg.Metrics = tscds.NewMetrics()
 	}
+	if traceOn {
+		cfg.Trace = &tscds.TraceConfig{}
+	}
 	m, err := tscds.New(s, t, cfg)
-	return m, cfg.Metrics, err
+	if err != nil {
+		return nil, nil, err
+	}
+	curMetrics.Store(cfg.Metrics)
+	curTracer.Store(m.Tracer())
+	return m, cfg.Metrics, nil
 }
 
-// dumpMetrics prints a labeled snapshot after an arm's runs.
+// dumpMetrics prints a labeled snapshot (JSON plus the percentile
+// summary) after an arm's runs.
 func dumpMetrics(label string, reg *tscds.Metrics) {
 	if reg == nil {
 		return
 	}
 	fmt.Printf("metrics %s: %s\n", label, reg.String())
+	fmt.Print(reg.Snapshot().Summary())
+}
+
+// dumpTrace prints the flame-style per-phase summary and one JSON line
+// after an arm's runs.
+func dumpTrace(label string, m tscds.Map) {
+	tr := m.Tracer()
+	if tr == nil {
+		return
+	}
+	fmt.Printf("trace %s:\n", label)
+	snap := m.TraceSnapshot(false)
+	fmt.Print(snap.Format())
+	fmt.Printf("trace-json %s\n", snap.JSON())
+}
+
+// benchOptions extends the base measurement options with -trace wiring:
+// pprof labels identifying the arm and the periodic TSC health sampler.
+func benchOptions(opts bench.Options, a arm, src tscds.SourceKind) bench.Options {
+	if !traceOn {
+		return opts
+	}
+	opts.Labels = map[string]string{
+		"tscds.technique": a.t.String(),
+		"tscds.structure": a.s.String(),
+		"tscds.source":    src.String(),
+	}
+	if tscHealth != nil {
+		opts.Sample = tscHealth.Sample
+	}
+	return opts
+}
+
+// metricSample is one -metrics-interval observation.
+type metricSample struct {
+	Label     string          `json:"label"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Metrics   json.RawMessage `json:"metrics"`
+}
+
+// sampler collects periodic metrics snapshots across every arm into one
+// time series (satisfying the BENCH_*.json shape: an array of labeled,
+// timestamped snapshot objects).
+type sampler struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	samples []metricSample
+}
+
+// run polls reg every interval until stop is closed, labeling samples.
+func (sm *sampler) run(label string, reg *tscds.Metrics, interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			sm.mu.Lock()
+			sm.samples = append(sm.samples, metricSample{
+				Label:     label,
+				ElapsedMS: time.Since(sm.epoch).Milliseconds(),
+				Metrics:   json.RawMessage(reg.String()),
+			})
+			sm.mu.Unlock()
+		}
+	}
+}
+
+// write dumps the series to path (no file when nothing was sampled).
+func (sm *sampler) write(path string) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.samples) == 0 {
+		return
+	}
+	b, err := json.MarshalIndent(sm.samples, "", " ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics series: %v\n", err)
+		return
+	}
+	fmt.Printf("metrics-series: wrote %d samples to %s\n", len(sm.samples), path)
 }
 
 // customFigure parses "structure/technique" into a single-arm figure.
@@ -151,8 +262,42 @@ func main() {
 	timeline := flag.Bool("timeline", false, "native: report per-interval throughput and GC activity")
 	custom := flag.String("custom", "", "run one custom arm instead of a figure, e.g. skiplist/vcas or citrus/bundle")
 	metrics := flag.Bool("metrics", false, "native: dump a metrics snapshot (JSON) per arm after its runs")
+	traceFlag := flag.Bool("trace", false, "native: record per-phase flight traces, print breakdowns per arm, monitor TSC health")
+	metricsInterval := flag.Duration("metrics-interval", 0, "native: with -metrics, sample snapshots at this interval into BENCH_metrics.json")
+	serveAddr := flag.String("serve", "", "native: serve live /metrics, /trace and /tschealth on this address (e.g. :8080)")
 	flag.Parse()
 	metricsOn = *metrics
+	traceOn = *traceFlag
+
+	if traceOn {
+		tscHealth = tsc.NewHealth(512)
+	}
+	if *serveAddr != "" {
+		srv, err := obs.Serve(*serveAddr, map[string]obs.Var{
+			"metrics": obs.Func(func() string {
+				if reg := curMetrics.Load(); reg != nil {
+					return reg.String()
+				}
+				return "{}"
+			}),
+			"trace": obs.Func(func() string {
+				return curTracer.Load().String()
+			}),
+			"tschealth": obs.Func(func() string {
+				return tscHealth.String()
+			}),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving stats on http://%s/metrics\n", srv.Addr())
+	}
+	series := &sampler{epoch: time.Now()}
+	if metricsOn && *metricsInterval > 0 {
+		defer series.write("BENCH_metrics.json")
+	}
 
 	if *custom != "" {
 		f2, err := customFigure(*custom)
@@ -225,6 +370,7 @@ func main() {
 					}
 					fmt.Printf("%s/%v, workload %s, timeline:\n%s\n", a.name, src, wl.Label(), tl)
 					dumpMetrics(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), mreg)
+					dumpTrace(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), m)
 				}
 			}
 			continue
@@ -248,11 +394,12 @@ func main() {
 					}
 					fmt.Printf("%s/%v, workload %s, latency over %v:\n%s\n", a.name, src, wl.Label(), *duration, res)
 					dumpMetrics(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), mreg)
+					dumpTrace(fmt.Sprintf("%s/%v %s", a.name, src, wl.Label()), m)
 				}
 			}
 			continue
 		}
-		series := map[string][]bench.Result{}
+		results := map[string][]bench.Result{}
 		for _, a := range f.arms {
 			for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
 				name := a.name
@@ -268,21 +415,33 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
+				var stopSample chan struct{}
+				if mreg != nil && *metricsInterval > 0 {
+					stopSample = make(chan struct{})
+					go series.run(fmt.Sprintf("%s %s", name, wl.Label()), mreg, *metricsInterval, stopSample)
+				}
 				for _, n := range threads {
-					res, err := bench.Run(m, m, wl, bench.Options{
+					res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
 						Threads: n, Duration: *duration, Trials: *trials, Pin: true, Seed: 7,
-					})
+					}, a, src))
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(1)
 					}
-					series[name] = append(series[name], res)
+					results[name] = append(results[name], res)
+				}
+				if stopSample != nil {
+					close(stopSample)
 				}
 				dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), mreg)
+				dumpTrace(fmt.Sprintf("%s %s", name, wl.Label()), m)
 			}
 		}
 		fmt.Println(bench.Table(
 			fmt.Sprintf("Figure %s, workload %s, native (%d trials x %v)", *fig, wl.Label(), *trials, *duration),
-			threads, series))
+			threads, results))
+	}
+	if tscHealth != nil {
+		fmt.Printf("tschealth %s\n", tscHealth.String())
 	}
 }

@@ -104,22 +104,35 @@ func (b *Bundle[T]) Abort(e *Entry[T]) {
 // impossible for callers that reached this bundle through an edge
 // labeled <= s, since Init labels with 0.
 func (b *Bundle[T]) PtrAt(s core.TS) (*T, bool) {
+	ptr, ok, _, _ := b.PtrAtWalk(s)
+	return ptr, ok
+}
+
+// PtrAtWalk is PtrAt returning additionally the number of history
+// entries examined (>= 1 whenever the chain is non-empty; entries past
+// the first measure history walked) and the number of spins on pending
+// entries — the dereference-depth and labeling-wait costs the tracing
+// layer aggregates as the bundle-deref and pending-wait phases.
+func (b *Bundle[T]) PtrAtWalk(s core.TS) (ptr *T, ok bool, depth, spins int) {
 	e := b.head.Load()
 	for e != nil {
+		depth++
 		ts := e.ts.Load()
 		if ts == core.Pending {
 			runtime.Gosched()
+			spins++
 			ts = e.ts.Load()
 			if ts == core.Pending {
+				depth--
 				continue // re-read until the in-flight updater labels
 			}
 		}
 		if ts <= s {
-			return e.ptr, true
+			return e.ptr, true, depth, spins
 		}
 		e = e.next.Load()
 	}
-	return nil, false
+	return nil, false, depth, spins
 }
 
 // Head exposes the newest entry (tests and invariant checks).

@@ -7,6 +7,7 @@ import (
 	"tscds/internal/bundle"
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/rcu"
 )
 
@@ -33,6 +34,16 @@ func newBnode(key, val uint64) *bnode {
 // fetch-and-add each update pays; with TSC it is a core-local read, the
 // difference Figure 3's Bundle vs Bundle-RDTSCP series measures.
 func (t *BundleTree) setChild(n *bnode, dir int, target *bnode) {
+	if t.tr != nil {
+		// The Prepare..Finalize window is bundling's labeling phase: the
+		// span readers can block on (pending-entry spins).
+		mark := t.tr.Now()
+		e := n.bnd[dir].Prepare(target)
+		n.child[dir].Store(target)
+		n.bnd[dir].Finalize(e, t.src.Advance())
+		t.tr.SharedSpan(trace.PhaseLabel, mark)
+		return
+	}
 	e := n.bnd[dir].Prepare(target)
 	n.child[dir].Store(target)
 	n.bnd[dir].Finalize(e, t.src.Advance())
@@ -44,6 +55,7 @@ type BundleTree struct {
 	reg  *core.Registry
 	rcu  *rcu.RCU
 	gc   *obs.GC
+	tr   *trace.Recorder
 	root *bnode
 }
 
@@ -63,6 +75,19 @@ func (t *BundleTree) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *BundleTree) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace wires the flight recorder (nil disables it): label spans on
+// updates, validation retries, range-query timestamp/traverse spans,
+// bundle-dereference depth and pending-entry waits. Call before the tree
+// sees concurrent traffic.
+func (t *BundleTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+func (t *BundleTree) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 func (t *BundleTree) traverse(tid int, key uint64) (prev, curr *bnode) {
 	t.rcu.ReadLock(tid)
@@ -100,20 +125,24 @@ func (t *BundleTree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr != nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
 		prev.mu.Lock()
 		if !t.validateLink(prev, dir, nil) {
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		t.setChild(prev, dir, newBnode(key, val))
 		t.maybeTruncate(prev, key)
 		prev.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -123,9 +152,11 @@ func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr == nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
@@ -134,6 +165,7 @@ func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
 		if curr.marked || !t.validateLink(prev, dir, curr) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		left := curr.child[0].Load()
@@ -148,15 +180,18 @@ func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
 			t.maybeTruncate(prev, key)
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		if t.deleteTwoChildren(prev, dir, curr, left, right) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		curr.mu.Unlock()
 		prev.mu.Unlock()
+		retries++
 	}
 }
 
@@ -239,25 +274,47 @@ func (t *BundleTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) [
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.src.Peek()
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
 	base := len(out)
-	out = t.collect(t.childAt(t.root, 0, s), lo, hi, s, base, out)
+	var w bwalk
+	out = t.collect(t.childAt(t.root, 0, s, &w), lo, hi, s, base, out, &w)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		tr.Count(th.ID, trace.PhaseBundleDeref, w.depth)
+		tr.Count(th.ID, trace.PhasePendingWait, w.spins)
+	}
 	th.DoneRQ()
 	return out
 }
 
-func (t *BundleTree) childAt(n *bnode, dir int, s core.TS) *bnode {
-	c, _ := n.bnd[dir].PtrAt(s)
+// bwalk accumulates one range query's bundle-walk costs.
+type bwalk struct {
+	depth, spins uint64
+}
+
+func (t *BundleTree) childAt(n *bnode, dir int, s core.TS, w *bwalk) *bnode {
+	c, _, depth, spins := n.bnd[dir].PtrAtWalk(s)
+	w.depth += uint64(depth)
+	w.spins += uint64(spins)
 	return c
 }
 
-func (t *BundleTree) collect(n *bnode, lo, hi uint64, s core.TS, base int, out []core.KV) []core.KV {
+func (t *BundleTree) collect(n *bnode, lo, hi uint64, s core.TS, base int, out []core.KV, w *bwalk) []core.KV {
 	if n == nil {
 		return out
 	}
 	if lo < n.key {
-		out = t.collect(t.childAt(n, 0, s), lo, hi, s, base, out)
+		out = t.collect(t.childAt(n, 0, s, w), lo, hi, s, base, out, w)
 	}
 	if n.key >= lo && n.key <= hi {
 		if len(out) == base || out[len(out)-1].Key != n.key {
@@ -265,7 +322,7 @@ func (t *BundleTree) collect(n *bnode, lo, hi uint64, s core.TS, base int, out [
 		}
 	}
 	if hi > n.key {
-		out = t.collect(t.childAt(n, 1, s), lo, hi, s, base, out)
+		out = t.collect(t.childAt(n, 1, s, w), lo, hi, s, base, out, w)
 	}
 	return out
 }

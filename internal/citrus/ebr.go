@@ -8,6 +8,7 @@ import (
 	"tscds/internal/ebrrq"
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/rcu"
 )
 
@@ -41,6 +42,7 @@ type EBRTree struct {
 	reg      *core.Registry
 	rcu      *rcu.RCU
 	em       *epoch.Manager[*enode]
+	tr       *trace.Recorder
 	root     *enode
 }
 
@@ -78,6 +80,22 @@ func (t *EBRTree) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *EBRTree) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetTrace wires the flight recorder (nil disables it) through the tree,
+// its timestamp provider (lock-wait/label spans) and its epoch manager
+// (pin/advance stalls). Call before the tree sees concurrent traffic.
+func (t *EBRTree) SetTrace(tr *trace.Recorder) {
+	t.tr = tr
+	t.provider.SetTrace(tr)
+	t.em.SetTrace(tr)
+}
+
+func (t *EBRTree) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 // Provider exposes the timestamp provider (tests).
 func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }
@@ -131,21 +149,25 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 	}
 	t.em.Pin(th.ID)
 	defer t.em.Unpin(th.ID)
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr != nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
 		prev.mu.Lock()
 		if !validateELink(prev, dir, nil) {
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		n := newEnode(key, val)
 		prev.child[dir].Store(n)
 		t.provider.Label(&n.itime) // linearization: (read ts, label) atomic
 		prev.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -157,9 +179,11 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 	}
 	t.em.Pin(th.ID)
 	defer t.em.Unpin(th.ID)
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr == nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
@@ -168,6 +192,7 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 		if curr.marked || !validateELink(prev, dir, curr) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		left := curr.child[0].Load()
@@ -183,15 +208,18 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 			prev.child[dir].Store(repl)
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		if t.deleteTwoChildren(th, prev, dir, curr, left, right) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		curr.mu.Unlock()
 		prev.mu.Unlock()
+		retries++
 	}
 }
 
@@ -268,17 +296,36 @@ func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 	}
 	th.BeginRQ()
 	t.em.Pin(th.ID)
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.provider.Snapshot()
+	if tr != nil {
+		// Includes the exclusive acquisition of the provider's RW lock in
+		// the lock-based variant; the wait alone also lands in the shared
+		// lock-wait phase.
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
 
 	acc := make(map[uint64]uint64)
 	t.collect(t.root.child[0].Load(), lo, hi, s, acc)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		mark = tr.Now()
+	}
 	t.em.ForEachRetired(func(n *enode) bool {
 		if n.key >= lo && n.key <= hi && ebrrq.VisibleAt(n.itime.Get(), n.dtime.Get(), s) {
 			acc[n.key] = n.val
 		}
 		return true
 	})
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseLimboScan, mark)
+	}
 
 	t.em.Unpin(th.ID)
 	th.DoneRQ()

@@ -5,6 +5,7 @@ import (
 
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/rcu"
 	"tscds/internal/vcas"
 )
@@ -32,6 +33,7 @@ type VcasTree struct {
 	reg  *core.Registry
 	rcu  *rcu.RCU
 	gc   *obs.GC
+	tr   *trace.Recorder
 	root *vnode
 }
 
@@ -51,6 +53,18 @@ func (t *VcasTree) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *VcasTree) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace wires the flight recorder (nil disables it): validation-retry
+// counts on updates, range-query timestamp/traverse spans and
+// version-walk lengths. Call before the tree sees concurrent traffic.
+func (t *VcasTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+func (t *VcasTree) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 // traverse returns (prev, curr) where curr.key == key, or curr == nil
 // with prev the would-be parent. Runs inside an RCU read section.
@@ -92,21 +106,25 @@ func (t *VcasTree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr != nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
 		prev.mu.Lock()
 		if !t.validateLink(prev, dir, nil) {
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		n := newVnode(key, val)
 		prev.child[dir].Write(t.src, n)
 		t.maybeTruncate(prev, key)
 		prev.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -116,9 +134,11 @@ func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		prev, curr := t.traverse(th.ID, key)
 		if curr == nil {
+			t.noteRetries(th, retries)
 			return false
 		}
 		dir := dirOf(key, prev.key)
@@ -127,6 +147,7 @@ func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
 		if curr.marked || !t.validateLink(prev, dir, curr) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			retries++
 			continue
 		}
 		left := curr.child[0].Read(t.src)
@@ -142,15 +163,18 @@ func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
 			t.maybeTruncate(prev, key)
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		if t.deleteTwoChildren(prev, dir, curr, left, right) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		curr.mu.Unlock()
 		prev.mu.Unlock()
+		retries++
 	}
 }
 
@@ -238,29 +262,45 @@ func (t *VcasTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []c
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.src.Snapshot()
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
 	base := len(out)
-	out = t.collect(t.childAt(t.root, 0, s), lo, hi, s, base, out)
+	var walk uint64
+	out = t.collect(t.childAt(t.root, 0, s, &walk), lo, hi, s, base, out, &walk)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		tr.Count(th.ID, trace.PhaseVersionWalk, walk)
+	}
 	th.DoneRQ()
 	return out
 }
 
-// childAt reads a routing edge as of snapshot bound s.
-func (t *VcasTree) childAt(n *vnode, dir int, s core.TS) *vnode {
-	c, _ := n.child[dir].ReadVersion(t.src, s)
+// childAt reads a routing edge as of snapshot bound s, accumulating
+// version-chain hops into walk.
+func (t *VcasTree) childAt(n *vnode, dir int, s core.TS, walk *uint64) *vnode {
+	c, _, hops := n.child[dir].ReadVersionWalk(t.src, s)
+	*walk += uint64(hops)
 	return c
 }
 
 // collect walks the snapshot in order, deduplicating the equal adjacent
 // keys that a concurrent two-child delete can momentarily expose (the
 // in-order walk of a BST is sorted, so duplicates are always adjacent).
-func (t *VcasTree) collect(n *vnode, lo, hi uint64, s core.TS, base int, out []core.KV) []core.KV {
+func (t *VcasTree) collect(n *vnode, lo, hi uint64, s core.TS, base int, out []core.KV, walk *uint64) []core.KV {
 	if n == nil {
 		return out
 	}
 	if lo < n.key {
-		out = t.collect(t.childAt(n, 0, s), lo, hi, s, base, out)
+		out = t.collect(t.childAt(n, 0, s, walk), lo, hi, s, base, out, walk)
 	}
 	if n.key >= lo && n.key <= hi {
 		if len(out) == base || out[len(out)-1].Key != n.key {
@@ -268,7 +308,7 @@ func (t *VcasTree) collect(n *vnode, lo, hi uint64, s core.TS, base int, out []c
 		}
 	}
 	if hi > n.key {
-		out = t.collect(t.childAt(n, 1, s), lo, hi, s, base, out)
+		out = t.collect(t.childAt(n, 1, s, walk), lo, hi, s, base, out, walk)
 	}
 	return out
 }

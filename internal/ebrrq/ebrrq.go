@@ -34,6 +34,7 @@ import (
 
 	"tscds/internal/core"
 	"tscds/internal/dcss"
+	"tscds/internal/obs/trace"
 )
 
 // ErrRequiresAddress is returned when the lock-free variant is asked to
@@ -79,7 +80,14 @@ type Provider struct {
 	src     core.Source
 	mu      sync.RWMutex
 	addr    *atomic.Uint64 // lock-free only
+	tr      *trace.Recorder
 }
+
+// SetTrace attaches a flight recorder. Label runs in helping paths with
+// no thread identity, so the provider reports through the recorder's
+// shared aggregates (lock-wait and label spans, DCSS retry counts). A
+// nil recorder (the default) keeps the hot paths on their current cost.
+func (p *Provider) SetTrace(tr *trace.Recorder) { p.tr = tr }
 
 // NewLockBased returns the readers-writer-lock variant over any source.
 // With a hardware source the lock is retained, as the algorithm requires.
@@ -108,7 +116,13 @@ func (p *Provider) Source() core.Source { return p.src }
 // (up to the theoretical TSC tie of §III-A).
 func (p *Provider) Snapshot() core.TS {
 	if p.variant == LockBased {
-		p.mu.Lock()
+		if p.tr != nil {
+			w := p.tr.Now()
+			p.mu.Lock()
+			p.tr.SharedSpan(trace.PhaseLockWait, w)
+		} else {
+			p.mu.Lock()
+		}
 		s := p.src.Snapshot()
 		p.mu.Unlock()
 		return s
@@ -125,6 +139,22 @@ func (p *Provider) Label(l *Label) core.TS {
 		return v // already linearized by a helper; no lock traffic
 	}
 	if p.variant == LockBased {
+		if p.tr != nil {
+			// Split the pair for the recorder: time to get into the lock's
+			// shared section (the paper's bottleneck) vs. the labeling
+			// itself.
+			w := p.tr.Now()
+			p.mu.RLock()
+			p.tr.SharedSpan(trace.PhaseLockWait, w)
+			lb := p.tr.Now()
+			t := p.src.Peek()
+			if !l.w.CAS(uint64(core.Pending), t) {
+				t = l.w.Read()
+			}
+			p.mu.RUnlock()
+			p.tr.SharedSpan(trace.PhaseLabel, lb)
+			return t
+		}
 		p.mu.RLock()
 		t := p.src.Peek()
 		if !l.w.CAS(uint64(core.Pending), t) {
@@ -133,16 +163,20 @@ func (p *Provider) Label(l *Label) core.TS {
 		p.mu.RUnlock()
 		return t
 	}
+	var retries uint64
 	for {
 		t := p.addr.Load()
 		cur, ok := l.w.DCSS(p.addr, t, uint64(core.Pending), t)
 		if ok {
+			p.tr.SharedCount(trace.PhaseRetry, retries)
 			return t
 		}
 		if core.TS(cur) != core.Pending {
+			p.tr.SharedCount(trace.PhaseRetry, retries)
 			return cur // someone else labeled it
 		}
 		// The global timestamp moved between read and swap; retry.
+		retries++
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 )
 
 // quiescent marks an unpinned thread slot.
@@ -69,7 +70,10 @@ type Manager[T any] struct {
 	minRQ func() core.TS
 	// gc, when set, receives limbo-list churn (retired/pruned counts and
 	// the current population). Nil disables reporting.
-	gc    *obs.GC
+	gc *obs.GC
+	// tr, when set, receives pin republications and failed advance
+	// attempts — the stall phases of epoch management. Nil disables it.
+	tr    *trace.Recorder
 	slots []slot[T]
 	// pinHook, when set, runs inside Pin between reading the global
 	// epoch and publishing it — the window in which concurrent
@@ -99,6 +103,10 @@ func NewManager[T any](maxThreads int, retain func(T, core.TS) bool, minRQ func(
 // the manager sees concurrent traffic.
 func (m *Manager[T]) SetGC(g *obs.GC) { m.gc = g }
 
+// SetTrace wires stall reporting to tr (nil disables it). Call before
+// the manager sees concurrent traffic.
+func (m *Manager[T]) SetTrace(tr *trace.Recorder) { m.tr = tr }
+
 // Pin enters an epoch-protected region for thread tid. Every data
 // structure operation (including range queries) runs pinned.
 //
@@ -112,6 +120,7 @@ func (m *Manager[T]) SetGC(g *obs.GC) { m.gc = g }
 // one epoch past this thread until it unpins.
 func (m *Manager[T]) Pin(tid int) {
 	s := &m.slots[tid]
+	var stalls uint64
 	for {
 		g := m.global.Load()
 		if h := m.pinHook; h != nil {
@@ -119,8 +128,12 @@ func (m *Manager[T]) Pin(tid int) {
 		}
 		s.local.Store(g)
 		if m.global.Load() == g {
+			if stalls > 0 {
+				m.tr.Count(tid, trace.PhasePinStall, stalls)
+			}
 			return
 		}
+		stalls++
 	}
 }
 
@@ -199,6 +212,10 @@ func (m *Manager[T]) tryAdvance() {
 	g := m.global.Load()
 	for i := range m.slots {
 		if l := m.slots[i].local.Load(); l != quiescent && l < g {
+			// A pinned thread lags; the epoch cannot move. tryAdvance has
+			// no thread identity (it runs from Retire/Unpin/Drain on any
+			// thread), so the stall lands in the shared aggregates.
+			m.tr.SharedCount(trace.PhaseAdvanceStall, 1)
 			return
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"tscds/internal/bundle"
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/vcas"
 )
 
@@ -45,6 +46,7 @@ type BundleList struct {
 	src  core.Source
 	reg  *core.Registry
 	gc   *obs.GC
+	tr   *trace.Recorder
 	head *bnode
 }
 
@@ -61,6 +63,18 @@ func (t *BundleList) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *BundleList) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace attaches a flight recorder (nil disables it). Call before the
+// list sees concurrent traffic.
+func (t *BundleList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// noteRetries reports an update's validation-failure retries.
+func (t *BundleList) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil || retries == 0 {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 func (t *BundleList) find(key uint64) (pred, cur *bnode) {
 	pred = t.head
@@ -98,6 +112,7 @@ func (t *BundleList) Insert(th *core.Thread, key, val uint64) bool {
 	if key == 0 || key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		pred, cur := t.find(key)
 		if cur != nil && cur.key == key {
@@ -105,18 +120,23 @@ func (t *BundleList) Insert(th *core.Thread, key, val uint64) bool {
 				runtime.Gosched()
 			}
 			if !alive(cur.dts.Load()) {
+				retries++
 				continue // deleted, unlink imminent
 			}
+			t.noteRetries(th, retries)
 			return false
 		}
 		pred.mu.Lock()
 		if !alive(pred.dts.Load()) || pred.next.Load() != cur {
 			pred.mu.Unlock()
+			retries++
 			continue
 		}
 		n := &bnode{key: key, val: val}
 		n.its.Store(uint64(core.Pending))
 		n.next.Store(cur)
+		// The Prepare..Finalize window is bundling's labeling phase.
+		lb := t.tr.Now()
 		eInit := n.bnd.InitPending(cur)
 		ePred := pred.bnd.Prepare(n)
 		pred.next.Store(n)
@@ -124,17 +144,21 @@ func (t *BundleList) Insert(th *core.Thread, key, val uint64) bool {
 		n.its.Store(ts)
 		pred.bnd.Finalize(ePred, ts)
 		n.bnd.Finalize(eInit, ts)
+		t.tr.Span(th.ID, trace.PhaseLabel, lb)
 		t.maybeTruncate(pred, key)
 		pred.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
 
 // Delete removes key; it returns false if absent.
 func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
+	var retries uint64
 	for {
 		pred, cur := t.find(key)
 		if cur == nil || cur.key != key {
+			t.noteRetries(th, retries)
 			return false
 		}
 		for cur.its.Load() == uint64(core.Pending) {
@@ -145,21 +169,26 @@ func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
 		if !alive(pred.dts.Load()) || pred.next.Load() != cur {
 			cur.mu.Unlock()
 			pred.mu.Unlock()
+			retries++
 			continue
 		}
 		if !alive(cur.dts.Load()) {
 			cur.mu.Unlock()
 			pred.mu.Unlock()
+			t.noteRetries(th, retries)
 			return false
 		}
+		lb := t.tr.Now()
 		ePred := pred.bnd.Prepare(cur.next.Load())
 		ts := t.src.Advance()
 		cur.dts.Store(ts) // linearization
 		pred.bnd.Finalize(ePred, ts)
 		pred.next.Store(cur.next.Load())
+		t.tr.Span(th.ID, trace.PhaseLabel, lb)
 		t.maybeTruncate(pred, key)
 		cur.mu.Unlock()
 		pred.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -185,15 +214,26 @@ func (t *BundleList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) [
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
 	s := t.src.Peek()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
-	cur, ok := t.head.bnd.PtrAt(s)
+	mark = tr.Now()
+	var derefs, spins uint64
+	cur, ok, d, sp := t.head.bnd.PtrAtWalk(s)
+	derefs, spins = uint64(d), uint64(sp)
 	for ok && cur != nil && cur.key <= hi {
 		if cur.key >= lo {
 			out = append(out, core.KV{Key: cur.key, Val: cur.val})
 		}
-		cur, ok = cur.bnd.PtrAt(s)
+		cur, ok, d, sp = cur.bnd.PtrAtWalk(s)
+		derefs += uint64(d)
+		spins += uint64(sp)
 	}
+	tr.Span(th.ID, trace.PhaseTraverse, mark)
+	tr.Count(th.ID, trace.PhaseBundleDeref, derefs)
+	tr.Count(th.ID, trace.PhasePendingWait, spins)
 	th.DoneRQ()
 	return out
 }
@@ -230,6 +270,7 @@ type VcasList struct {
 	src  core.Source
 	reg  *core.Registry
 	gc   *obs.GC
+	tr   *trace.Recorder
 	head *vnode
 }
 
@@ -244,6 +285,18 @@ func (t *VcasList) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace attaches a flight recorder (nil disables it). Call before the
+// list sees concurrent traffic.
+func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// noteRetries reports an update's validation-failure retries.
+func (t *VcasList) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil || retries == 0 {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 func (t *VcasList) find(key uint64) (pred, cur *vnode) {
 	pred = t.head
@@ -275,31 +328,38 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 	if key == 0 || key > MaxKey {
 		return false
 	}
+	var retries uint64
 	for {
 		pred, cur := t.find(key)
 		if cur != nil && cur.key == key && !cur.marked.Read(t.src) {
+			t.noteRetries(th, retries)
 			return false
 		}
 		if cur != nil && cur.key == key {
+			retries++
 			continue // marked; wait for unlink
 		}
 		pred.mu.Lock()
 		if pred.marked.Read(t.src) || pred.next.Read(t.src) != cur {
 			pred.mu.Unlock()
+			retries++
 			continue
 		}
 		pred.next.Write(t.src, newVnode(key, val, cur))
 		t.maybeTruncate(pred, key)
 		pred.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
 
 // Delete removes key; it returns false if absent.
 func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
+	var retries uint64
 	for {
 		pred, cur := t.find(key)
 		if cur == nil || cur.key != key {
+			t.noteRetries(th, retries)
 			return false
 		}
 		pred.mu.Lock()
@@ -307,11 +367,13 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 		if pred.marked.Read(t.src) || pred.next.Read(t.src) != cur {
 			cur.mu.Unlock()
 			pred.mu.Unlock()
+			retries++
 			continue
 		}
 		if cur.marked.Read(t.src) {
 			cur.mu.Unlock()
 			pred.mu.Unlock()
+			t.noteRetries(th, retries)
 			return false
 		}
 		cur.marked.Write(t.src, true) // linearization
@@ -319,6 +381,7 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 		t.maybeTruncate(pred, key)
 		cur.mu.Unlock()
 		pred.mu.Unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -343,17 +406,28 @@ func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []c
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
 	s := t.src.Snapshot()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
-	cur, _ := t.head.next.ReadVersion(t.src, s)
+	mark = tr.Now()
+	var walk uint64
+	cur, _, h := t.head.next.ReadVersionWalk(t.src, s)
+	walk += uint64(h)
 	for cur != nil && cur.key <= hi {
 		if cur.key >= lo {
-			if m, ok := cur.marked.ReadVersion(t.src, s); ok && !m {
+			m, ok, h := cur.marked.ReadVersionWalk(t.src, s)
+			walk += uint64(h)
+			if ok && !m {
 				out = append(out, core.KV{Key: cur.key, Val: cur.val})
 			}
 		}
-		cur, _ = cur.next.ReadVersion(t.src, s)
+		cur, _, h = cur.next.ReadVersionWalk(t.src, s)
+		walk += uint64(h)
 	}
+	tr.Span(th.ID, trace.PhaseTraverse, mark)
+	tr.Count(th.ID, trace.PhaseVersionWalk, walk)
 	th.DoneRQ()
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"tscds/internal/ebrrq"
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 )
 
 // This file hosts the EBR-RQ augmentation of the same EFRB external BST:
@@ -83,6 +84,7 @@ type EBRTree struct {
 	provider *ebrrq.Provider
 	reg      *core.Registry
 	em       *epoch.Manager[*enode]
+	tr       *trace.Recorder
 	root     *enode
 }
 
@@ -118,6 +120,23 @@ func (t *EBRTree) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *EBRTree) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetTrace wires the flight recorder (nil disables it) through the tree,
+// its timestamp provider (lock-wait/label spans) and its epoch manager
+// (pin/advance stalls). Call before the tree sees concurrent traffic.
+func (t *EBRTree) SetTrace(tr *trace.Recorder) {
+	t.tr = tr
+	t.provider.SetTrace(tr)
+	t.em.SetTrace(tr)
+}
+
+func (t *EBRTree) noteUpdate(th *core.Thread, retries, helps uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+	t.tr.Count(th.ID, trace.PhaseHelp, helps)
+}
 
 // Provider exposes the timestamp provider (tests).
 func (t *EBRTree) Provider() *ebrrq.Provider { return t.provider }
@@ -183,6 +202,7 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 	t.em.Pin(th.ID)
 	defer t.em.Unpin(th.ID)
 	nl := newELeaf(key, val)
+	var retries, helps uint64
 	for {
 		r := t.search(key)
 		if r.l.key == key {
@@ -190,15 +210,20 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 				// Deleted leaf still wired in; help remove and retry.
 				if r.pupdate.state != clean {
 					t.help(r.pupdate)
+					helps++
 				}
+				retries++
 				continue
 			}
 			// Help the racing insert linearize before failing against it.
 			t.provider.Label(&r.l.itime)
+			t.noteUpdate(th, retries, helps)
 			return false
 		}
 		if r.pupdate.state != clean {
 			t.help(r.pupdate)
+			helps++
+			retries++
 			continue
 		}
 		var ni *enode
@@ -212,9 +237,12 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 		op.flag = rec
 		if r.p.update.cas(r.pupdate, rec) {
 			t.helpInsert(op)
+			t.noteUpdate(th, retries, helps)
 			return true
 		}
 		t.help(r.p.update.load())
+		helps++
+		retries++
 	}
 }
 
@@ -226,22 +254,30 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 	t.em.Pin(th.ID)
 	defer t.em.Unpin(th.ID)
 	retired := false
+	var retries, helps uint64
 	for {
 		r := t.search(key)
 		if r.l.key != key || r.l.dtime.Get() != core.Pending {
+			t.noteUpdate(th, retries, helps)
 			return false
 		}
 		if r.l.itime.Get() == core.Pending {
 			// Help the insert linearize before deleting its leaf.
 			t.provider.Label(&r.l.itime)
+			helps++
+			retries++
 			continue
 		}
 		if r.gpupdate.state != clean {
 			t.help(r.gpupdate)
+			helps++
+			retries++
 			continue
 		}
 		if r.pupdate.state != clean {
 			t.help(r.pupdate)
+			helps++
+			retries++
 			continue
 		}
 		// Make the leaf scannable in limbo BEFORE any helper can splice
@@ -258,11 +294,15 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 		op.flag = rec
 		if r.gp.update.cas(r.gpupdate, rec) {
 			if t.helpDelete(op) {
+				t.noteUpdate(th, retries, helps)
 				return true
 			}
+			retries++
 			continue
 		}
 		t.help(r.gp.update.load())
+		helps++
+		retries++
 	}
 }
 
@@ -335,17 +375,35 @@ func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 	}
 	th.BeginRQ()
 	t.em.Pin(th.ID)
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.provider.Snapshot()
+	if tr != nil {
+		// Includes the exclusive lock acquisition the lock-based variant
+		// needs; the wait alone also lands in the shared lock-wait phase.
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
 
 	acc := make(map[uint64]uint64)
 	t.collectE(t.root, lo, hi, s, acc)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		mark = tr.Now()
+	}
 	t.em.ForEachRetired(func(n *enode) bool {
 		if n.key >= lo && n.key <= hi && ebrrq.VisibleAt(n.itime.Get(), n.dtime.Get(), s) {
 			acc[n.key] = n.val
 		}
 		return true
 	})
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseLimboScan, mark)
+	}
 
 	t.em.Unpin(th.ID)
 	th.DoneRQ()

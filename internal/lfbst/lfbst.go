@@ -19,6 +19,7 @@ import (
 
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/vcas"
 )
 
@@ -107,6 +108,7 @@ type Tree struct {
 	src  core.Source
 	reg  *core.Registry
 	gc   *obs.GC
+	tr   *trace.Recorder
 	root *node
 }
 
@@ -123,6 +125,21 @@ func (t *Tree) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *Tree) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace wires the flight recorder (nil disables it): update retry and
+// helping counts, range-query timestamp/traverse spans, and version-walk
+// lengths. Call before the tree sees concurrent traffic.
+func (t *Tree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// noteUpdate flushes an update attempt's retry/help tallies to the
+// recorder (zero counts are dropped there).
+func (t *Tree) noteUpdate(th *core.Thread, retries, helps uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+	t.tr.Count(th.ID, trace.PhaseHelp, helps)
+}
 
 // child returns the current target of the routing edge for key at n.
 func (t *Tree) child(n *node, key uint64) *vcas.Object[*node] {
@@ -164,18 +181,22 @@ func (t *Tree) Get(_ *core.Thread, key uint64) (uint64, bool) {
 }
 
 // Insert adds key with val; it returns false if key is already present.
-func (t *Tree) Insert(_ *core.Thread, key, val uint64) bool {
+func (t *Tree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
 	nl := newLeaf(key, val)
+	var retries, helps uint64
 	for {
 		r := t.search(key)
 		if r.l.key == key {
+			t.noteUpdate(th, retries, helps)
 			return false
 		}
 		if r.pupdate.state != clean {
 			t.help(r.pupdate)
+			helps++
+			retries++
 			continue
 		}
 		// Sibling order inside the new internal node.
@@ -191,28 +212,37 @@ func (t *Tree) Insert(_ *core.Thread, key, val uint64) bool {
 		if r.p.update.cas(r.pupdate, rec) {
 			t.helpInsert(op)
 			t.maybeTruncate(r.p, key)
+			t.noteUpdate(th, retries, helps)
 			return true
 		}
 		t.help(r.p.update.load())
+		helps++
+		retries++
 	}
 }
 
 // Delete removes key; it returns false if absent.
-func (t *Tree) Delete(_ *core.Thread, key uint64) bool {
+func (t *Tree) Delete(th *core.Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
+	var retries, helps uint64
 	for {
 		r := t.search(key)
 		if r.l.key != key {
+			t.noteUpdate(th, retries, helps)
 			return false
 		}
 		if r.gpupdate.state != clean {
 			t.help(r.gpupdate)
+			helps++
+			retries++
 			continue
 		}
 		if r.pupdate.state != clean {
 			t.help(r.pupdate)
+			helps++
+			retries++
 			continue
 		}
 		op := &deleteInfo{gp: r.gp, p: r.p, l: r.l, pupdate: r.pupdate}
@@ -221,11 +251,15 @@ func (t *Tree) Delete(_ *core.Thread, key uint64) bool {
 		if r.gp.update.cas(r.gpupdate, rec) {
 			if t.helpDelete(op) {
 				t.maybeTruncate(r.gp, key)
+				t.noteUpdate(th, retries, helps)
 				return true
 			}
+			retries++
 			continue
 		}
 		t.help(r.gp.update.load())
+		helps++
+		retries++
 	}
 }
 
@@ -310,14 +344,28 @@ func (t *Tree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.src.Snapshot()
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
-	out = t.collect(t.root, lo, hi, s, out)
+	var walk uint64
+	out = t.collect(t.root, lo, hi, s, out, &walk)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		tr.Count(th.ID, trace.PhaseVersionWalk, walk)
+	}
 	th.DoneRQ()
 	return out
 }
 
-func (t *Tree) collect(n *node, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+func (t *Tree) collect(n *node, lo, hi uint64, s core.TS, out []core.KV, walk *uint64) []core.KV {
 	if n == nil {
 		return out
 	}
@@ -328,13 +376,15 @@ func (t *Tree) collect(n *node, lo, hi uint64, s core.TS, out []core.KV) []core.
 		return out
 	}
 	if lo < n.key {
-		if l, ok := n.left.ReadVersion(t.src, s); ok {
-			out = t.collect(l, lo, hi, s, out)
+		if l, ok, hops := n.left.ReadVersionWalk(t.src, s); ok {
+			*walk += uint64(hops)
+			out = t.collect(l, lo, hi, s, out, walk)
 		}
 	}
 	if hi >= n.key {
-		if r, ok := n.right.ReadVersion(t.src, s); ok {
-			out = t.collect(r, lo, hi, s, out)
+		if r, ok, hops := n.right.ReadVersionWalk(t.src, s); ok {
+			*walk += uint64(hops)
+			out = t.collect(r, lo, hi, s, out, walk)
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package lfbst
 import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/vcas"
 )
 
@@ -61,6 +62,7 @@ type NMTree struct {
 	src core.Source
 	reg *core.Registry
 	gc  *obs.GC
+	tr  *trace.Recorder
 	r   *nmNode // sentinel root, key inf2
 	s   *nmNode // sentinel child, key inf1
 }
@@ -81,6 +83,20 @@ func (t *NMTree) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *NMTree) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace wires the flight recorder (nil disables it). NM helping is
+// implicit (cleanup of flagged/tagged edges), so cleanup calls made on
+// behalf of another operation count as help. Call before the tree sees
+// concurrent traffic.
+func (t *NMTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+func (t *NMTree) noteUpdate(th *core.Thread, retries, helps uint64) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+	t.tr.Count(th.ID, trace.PhaseHelp, helps)
+}
 
 func nmDir(key, nodeKey uint64) int {
 	if key < nodeKey {
@@ -134,18 +150,22 @@ func (t *NMTree) Get(_ *core.Thread, key uint64) (uint64, bool) {
 }
 
 // Insert adds key with val; it returns false if already present.
-func (t *NMTree) Insert(_ *core.Thread, key, val uint64) bool {
+func (t *NMTree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxNMKey {
 		return false
 	}
 	nl := nmLeaf(key, val)
+	var retries, helps uint64
 	for {
 		r := t.seek(key)
 		if r.leaf.key == key {
+			t.noteUpdate(th, retries, helps)
 			return false
 		}
 		if r.leafEdge.flag || r.leafEdge.tag {
 			t.cleanup(key, r) // help the pending delete, then retry
+			helps++
+			retries++
 			continue
 		}
 		var ni *nmNode
@@ -157,12 +177,15 @@ func (t *NMTree) Insert(_ *core.Thread, key, val uint64) bool {
 		edge := &r.parent.child[nmDir(key, r.parent.key)]
 		if edge.CompareAndSwap(t.src, r.leafEdge, edgeVal{n: ni}) {
 			t.maybeTruncate(r.parent, key)
+			t.noteUpdate(th, retries, helps)
 			return true
 		}
 		cur := edge.Read(t.src)
 		if cur.n == r.leaf && (cur.flag || cur.tag) {
 			t.cleanup(key, r)
+			helps++
 		}
+		retries++
 	}
 }
 
@@ -170,20 +193,24 @@ func (t *NMTree) Insert(_ *core.Thread, key, val uint64) bool {
 // protocol: injection (flag the leaf edge, claiming the delete), then
 // cleanup (tag the sibling edge and swing the ancestor), with helpers
 // able to finish the cleanup on the owner's behalf.
-func (t *NMTree) Delete(_ *core.Thread, key uint64) bool {
+func (t *NMTree) Delete(th *core.Thread, key uint64) bool {
 	if key > MaxNMKey {
 		return false
 	}
 	injected := false
 	var leaf *nmNode
+	var retries, helps uint64
 	for {
 		r := t.seek(key)
 		if !injected {
 			if r.leaf.key != key {
+				t.noteUpdate(th, retries, helps)
 				return false
 			}
 			if r.leafEdge.flag || r.leafEdge.tag {
 				t.cleanup(key, r) // another delete owns it; help and retry
+				helps++
+				retries++
 				continue
 			}
 			edge := &r.parent.child[nmDir(key, r.parent.key)]
@@ -193,18 +220,23 @@ func (t *NMTree) Delete(_ *core.Thread, key uint64) bool {
 				r.leafEdge = edgeVal{n: r.leaf, flag: true}
 				if t.cleanup(key, r) {
 					t.maybeTruncate(r.ancestor, key)
+					t.noteUpdate(th, retries, helps)
 					return true
 				}
 			}
+			retries++
 			continue
 		}
 		if r.leaf != leaf {
+			t.noteUpdate(th, retries, helps)
 			return true // a helper finished the removal
 		}
 		if t.cleanup(key, r) {
 			t.maybeTruncate(r.ancestor, key)
+			t.noteUpdate(th, retries, helps)
 			return true
 		}
+		retries++
 	}
 }
 
@@ -266,14 +298,28 @@ func (t *NMTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []cor
 		hi = MaxNMKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
 	s := t.src.Snapshot()
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		mark = tr.Now()
+	}
 	th.AnnounceRQ(s)
-	out = t.collect(t.r, lo, hi, s, out)
+	var walk uint64
+	out = t.collect(t.r, lo, hi, s, out, &walk)
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseTraverse, mark)
+		tr.Count(th.ID, trace.PhaseVersionWalk, walk)
+	}
 	th.DoneRQ()
 	return out
 }
 
-func (t *NMTree) collect(n *nmNode, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+func (t *NMTree) collect(n *nmNode, lo, hi uint64, s core.TS, out []core.KV, walk *uint64) []core.KV {
 	if n == nil {
 		return out
 	}
@@ -284,13 +330,15 @@ func (t *NMTree) collect(n *nmNode, lo, hi uint64, s core.TS, out []core.KV) []c
 		return out
 	}
 	if lo < n.key {
-		if e, ok := n.child[0].ReadVersion(t.src, s); ok {
-			out = t.collect(e.n, lo, hi, s, out)
+		if e, ok, hops := n.child[0].ReadVersionWalk(t.src, s); ok {
+			*walk += uint64(hops)
+			out = t.collect(e.n, lo, hi, s, out, walk)
 		}
 	}
 	if hi >= n.key {
-		if e, ok := n.child[1].ReadVersion(t.src, s); ok {
-			out = t.collect(e.n, lo, hi, s, out)
+		if e, ok, hops := n.child[1].ReadVersionWalk(t.src, s); ok {
+			*walk += uint64(hops)
+			out = t.collect(e.n, lo, hi, s, out, walk)
 		}
 	}
 	return out

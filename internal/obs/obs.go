@@ -17,8 +17,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -281,10 +283,11 @@ func (g *GC) Snapshot() GCSnapshot {
 // and reclamation stats. A Registry is safe for concurrent use by any
 // number of goroutines; all fields are independent atomics.
 type Registry struct {
-	ops    [numOpClasses]Histogram
-	Source SourceStats
-	GC     GC
-	kind   atomic.Pointer[string]
+	ops      [numOpClasses]Histogram
+	Source   SourceStats
+	GC       GC
+	kind     atomic.Pointer[string]
+	strCache atomic.Pointer[stringCache]
 }
 
 // NewRegistry returns an empty registry.
@@ -331,12 +334,74 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// stringCache memoizes one rendered String so scrapers polling an
+// expvar page cannot turn every page load into a full snapshot+marshal
+// of ~120 histogram buckets.
+type stringCache struct {
+	at  time.Time
+	out string
+}
+
+// stringTTL bounds how stale a memoized String render may be. Snapshot
+// is always live; only the String export is rate-limited.
+var stringTTL = 100 * time.Millisecond
+
 // String renders the snapshot as JSON, making *Registry an expvar.Var so
-// callers can expvar.Publish("tscds", registry) directly.
+// callers can expvar.Publish("tscds", registry) directly. Renders are
+// memoized for stringTTL, so a hot scrape loop costs one pointer load
+// per call rather than a marshal; use Snapshot for guaranteed-fresh
+// values.
 func (r *Registry) String() string {
+	now := time.Now()
+	if c := r.strCache.Load(); c != nil && now.Sub(c.at) < stringTTL {
+		return c.out
+	}
 	b, err := json.Marshal(r.Snapshot())
 	if err != nil {
 		return "{}"
 	}
-	return string(b)
+	out := string(b)
+	r.strCache.Store(&stringCache{at: now, out: out})
+	return out
+}
+
+// Summary renders the snapshot as a short human-readable table: one line
+// per active op class with count, mean, and the bucket-derived p50, p99
+// and max, plus source and reclamation traffic when present.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	for _, c := range []OpClass{OpUpdate, OpRange, OpContains} {
+		op, ok := s.Ops[c.String()]
+		if !ok || op.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %10d ops  mean %s  p50 %s  p99 %s  max %s\n",
+			c.String(), op.Count, durNS(op.MeanNS), durNS(op.P50NS), durNS(op.P99NS), durNS(op.MaxNS))
+	}
+	if s.Source.Advances+s.Source.Peeks+s.Source.Snapshots > 0 {
+		fmt.Fprintf(&b, "  source %s: %d advances, %d peeks, %d snapshots\n",
+			s.Source.Kind, s.Source.Advances, s.Source.Peeks, s.Source.Snapshots)
+	}
+	if g := s.GC; g.BundleEntriesPruned+g.VcasVersionsPruned+g.LimboRetired > 0 {
+		fmt.Fprintf(&b, "  gc: %d bundle entries pruned, %d versions pruned, %d limbo retired (%d pruned, %d live)\n",
+			g.BundleEntriesPruned, g.VcasVersionsPruned, g.LimboRetired, g.LimboPruned, g.LimboLen)
+	}
+	if b.Len() == 0 {
+		return "  (no activity recorded)\n"
+	}
+	return b.String()
+}
+
+// durNS renders an integer nanosecond quantity with an adaptive unit.
+func durNS(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
 }

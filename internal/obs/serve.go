@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Var is anything that renders itself as a JSON string — the same shape
+// expvar.Var uses, redeclared here so the package stays dependency-free.
+// *Registry, *trace.Recorder and *tsc.Health all satisfy it.
+type Var interface {
+	String() string
+}
+
+// Func adapts a function to Var (for values that need a live render,
+// e.g. a TSC health snapshot refreshed per scrape).
+type Func func() string
+
+// String invokes the function.
+func (f Func) String() string { return f() }
+
+// Server is a live stats endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the address the server is listening on (useful with
+// ":0", where the OS picks the port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// Serve starts an opt-in HTTP stats endpoint on addr and returns
+// immediately. Routes:
+//
+//	/metrics    every registered var in one expvar-compatible JSON object
+//	/<name>     one var's JSON by its registration name
+//
+// Conventional names used by the benchmark drivers: "metrics" (the
+// *Registry), "trace" (the flight recorder), "tschealth" (the TSC health
+// monitor), so /trace and /tschealth work as documented in the README.
+func Serve(addr string, vars map[string]Var) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		for i, name := range names {
+			if i > 0 {
+				fmt.Fprintf(w, ",\n")
+			}
+			fmt.Fprintf(w, "%q: %s", name, vars[name].String())
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	for name, v := range vars {
+		if name == "metrics" {
+			// The aggregate route already serves this name; a registry
+			// registered as "metrics" appears there.
+			continue
+		}
+		v := v
+		mux.HandleFunc("/"+name, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			fmt.Fprintln(w, v.String())
+		})
+	}
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}

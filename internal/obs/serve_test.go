@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSourceKind("Logical")
+	reg.ObserveOp(OpUpdate, 100*time.Nanosecond)
+
+	srv, err := Serve("127.0.0.1:0", map[string]Var{
+		"metrics":   reg,
+		"tschealth": Func(func() string { return `{"state":"healthy"}` }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// /metrics: one JSON object keyed by var name.
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, "http://"+srv.Addr()+"/metrics"), &all); err != nil {
+		t.Fatalf("/metrics JSON: %v", err)
+	}
+	if _, ok := all["metrics"]; !ok {
+		t.Fatal("/metrics missing registry var")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(all["metrics"], &snap); err != nil {
+		t.Fatalf("registry var JSON: %v", err)
+	}
+	if snap.Source.Kind != "Logical" {
+		t.Fatalf("served kind = %q", snap.Source.Kind)
+	}
+
+	// Per-var routes.
+	var health map[string]string
+	if err := json.Unmarshal(get(t, "http://"+srv.Addr()+"/tschealth"), &health); err != nil {
+		t.Fatalf("/tschealth JSON: %v", err)
+	}
+	if health["state"] != "healthy" {
+		t.Fatalf("health = %v", health)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", nil); err == nil {
+		t.Fatal("expected error for bad listen addr")
+	}
+}
+
+// TestStringMemoized: within stringTTL the rendered JSON is reused even
+// if counters move; after the TTL the next render picks up new values.
+func TestStringMemoized(t *testing.T) {
+	old := stringTTL
+	stringTTL = time.Hour
+	defer func() { stringTTL = old }()
+
+	reg := NewRegistry()
+	reg.ObserveOp(OpUpdate, time.Microsecond)
+	first := reg.String()
+	reg.ObserveOp(OpUpdate, time.Microsecond)
+	if got := reg.String(); got != first {
+		t.Fatal("String re-marshaled within TTL")
+	}
+
+	stringTTL = 0 // every call is stale
+	reg.ObserveOp(OpUpdate, time.Microsecond)
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(reg.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ops["update"].Count != 3 {
+		t.Fatalf("post-TTL count = %d, want 3", snap.Ops["update"].Count)
+	}
+}
+
+func TestSnapshotSummary(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSourceKind("RDTSCP")
+	reg.ObserveOp(OpRange, 3*time.Microsecond)
+	reg.Source.Snapshots.Inc()
+	reg.GC.LimboRetired.Inc()
+	out := reg.Snapshot().Summary()
+	for _, want := range []string{"range-query", "p50", "p99", "RDTSCP", "limbo retired"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Summary missing %q:\n%s", want, out)
+		}
+	}
+	if empty := (Snapshot{}).Summary(); !strings.Contains(empty, "no activity") {
+		t.Fatalf("empty summary = %q", empty)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"tscds/internal/ebrrq"
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 )
 
 // This file implements the skip list + EBR-RQ combination the paper
@@ -39,6 +40,7 @@ type EBRList struct {
 	provider *ebrrq.Provider
 	reg      *core.Registry
 	em       *epoch.Manager[*eskipNode]
+	tr       *trace.Recorder
 	head     *eskipNode
 	rngs     []core.PaddedUint64
 }
@@ -77,6 +79,23 @@ func (t *EBRList) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *EBRList) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetTrace attaches a flight recorder to the list, its labeling provider
+// (lock-wait and label spans) and its epoch manager (pin/advance stalls).
+// Call before the list sees concurrent traffic.
+func (t *EBRList) SetTrace(tr *trace.Recorder) {
+	t.tr = tr
+	t.provider.SetTrace(tr)
+	t.em.SetTrace(tr)
+}
+
+// noteRetries reports an update's validation-failure retries.
+func (t *EBRList) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil || retries == 0 {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 // LimboLen reports retained limbo nodes (tests).
 func (t *EBRList) LimboLen() int { return t.em.LimboLen() }
@@ -183,14 +202,17 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 	defer t.em.Unpin(th.ID)
 	topLevel := t.randLevel(th.ID)
 	var preds, succs [maxLevel]*eskipNode
+	var retries uint64
 	for {
 		if lFound := t.find(key, &preds, &succs); lFound != -1 {
 			f := succs[lFound]
 			if !eAlive(f) {
+				retries++
 				continue // deleted; unlink imminent
 			}
 			// Help its insert linearize before failing against it.
 			t.provider.Label(&f.itime)
+			t.noteRetries(th, retries)
 			return false
 		}
 		unlock := eLockPreds(&preds, topLevel)
@@ -206,6 +228,7 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 		}
 		if !valid {
 			unlock()
+			retries++
 			continue
 		}
 		n := newEskipNode(key, val, topLevel)
@@ -219,6 +242,7 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 		}
 		n.linked.Store(true)
 		unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -247,6 +271,7 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 	// Scannable before unreachable, then linearize.
 	t.em.Retire(th.ID, victim)
 	t.provider.Label(&victim.dtime)
+	var retries uint64
 	for {
 		unlock := eLockPreds(&preds, victim.topLevel)
 		valid := true
@@ -263,9 +288,11 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 			}
 			unlock()
 			victim.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		unlock()
+		retries++
 		t.find(key, &preds, &succs)
 	}
 }
@@ -282,11 +309,18 @@ func (t *EBRList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 	}
 	th.BeginRQ()
 	t.em.Pin(th.ID)
+	tr := t.tr
+	// The snapshot span covers the provider's exclusive-lock acquisition
+	// (lock-based variant); the wait alone also lands in the shared
+	// lock-wait aggregate.
+	mark := tr.Now()
 	s := t.provider.Snapshot()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
 
 	acc := make(map[uint64]uint64)
 	// Current-state walk: position via the index, then sweep level 0.
+	mark = tr.Now()
 	pred := t.head
 	for l := maxLevel - 1; l >= 1; l-- {
 		cur := pred.next[l].Load()
@@ -300,12 +334,15 @@ func (t *EBRList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 			acc[cur.key] = cur.val
 		}
 	}
+	tr.Span(th.ID, trace.PhaseTraverse, mark)
+	mark = tr.Now()
 	t.em.ForEachRetired(func(n *eskipNode) bool {
 		if n.key >= lo && n.key <= hi && ebrrq.VisibleAt(n.itime.Get(), n.dtime.Get(), s) {
 			acc[n.key] = n.val
 		}
 		return true
 	})
+	tr.Span(th.ID, trace.PhaseLimboScan, mark)
 
 	t.em.Unpin(th.ID)
 	th.DoneRQ()

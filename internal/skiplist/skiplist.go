@@ -28,6 +28,7 @@ import (
 	"tscds/internal/bundle"
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 )
 
 // maxLevel supports ~2^20 keys with p = 1/2.
@@ -62,6 +63,7 @@ type List struct {
 	src  core.Source
 	reg  *core.Registry
 	gc   *obs.GC
+	tr   *trace.Recorder
 	head *node
 	rngs []core.PaddedUint64 // per-thread xorshift state for level draws
 }
@@ -86,6 +88,18 @@ func (t *List) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *List) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace attaches a flight recorder (nil disables it). Call before the
+// list sees concurrent traffic.
+func (t *List) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// noteRetries reports an update's validation-failure retries.
+func (t *List) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil || retries == 0 {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 func (t *List) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
@@ -190,6 +204,7 @@ func (t *List) Insert(th *core.Thread, key, val uint64) bool {
 	}
 	topLevel := t.randLevel(th.ID)
 	var preds, succs [maxLevel]*node
+	var retries uint64
 	for {
 		if lFound := t.find(key, &preds, &succs); lFound != -1 {
 			f := succs[lFound]
@@ -198,11 +213,13 @@ func (t *List) Insert(th *core.Thread, key, val uint64) bool {
 				runtime.Gosched()
 			}
 			if d := f.dts.Load(); d != 0 && d != uint64(core.Pending) {
+				retries++
 				continue // deleted; its unlink is imminent — retry
 			}
 			for !f.fullyLinked.Load() {
 				runtime.Gosched()
 			}
+			t.noteRetries(th, retries)
 			return false
 		}
 		unlock := lockPreds(&preds, topLevel)
@@ -217,12 +234,15 @@ func (t *List) Insert(th *core.Thread, key, val uint64) bool {
 		}
 		if !valid {
 			unlock()
+			retries++
 			continue
 		}
 		n := newNode(key, val, topLevel)
 		for l := 0; l < topLevel; l++ {
 			n.next[l].Store(succs[l])
 		}
+		// The Prepare..Finalize window is bundling's labeling phase.
+		lb := t.tr.Now()
 		eInit := n.bnd.InitPending(succs[0])
 		ePred := preds[0].bnd.Prepare(n)
 		preds[0].next[0].Store(n)
@@ -230,12 +250,14 @@ func (t *List) Insert(th *core.Thread, key, val uint64) bool {
 		n.its.Store(ts) // label first: contains agrees with snapshots
 		preds[0].bnd.Finalize(ePred, ts)
 		n.bnd.Finalize(eInit, ts)
+		t.tr.Span(th.ID, trace.PhaseLabel, lb)
 		for l := 1; l < topLevel; l++ {
 			preds[l].next[l].Store(n)
 		}
 		n.fullyLinked.Store(true)
 		t.maybeTruncate(preds[0], key)
 		unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -260,6 +282,7 @@ func (t *List) Delete(th *core.Thread, key uint64) bool {
 		return false
 	}
 	victim.dts.Store(uint64(core.Pending)) // claim; not yet linearized
+	var retries uint64
 	for {
 		unlock := lockPreds(&preds, victim.topLevel)
 		valid := true
@@ -270,19 +293,23 @@ func (t *List) Delete(th *core.Thread, key uint64) bool {
 			}
 		}
 		if valid {
+			lb := t.tr.Now()
 			ePred := preds[0].bnd.Prepare(victim.next[0].Load())
 			ts := t.src.Advance()
 			victim.dts.Store(ts) // linearization of the delete
 			preds[0].bnd.Finalize(ePred, ts)
+			t.tr.Span(th.ID, trace.PhaseLabel, lb)
 			for l := victim.topLevel - 1; l >= 0; l-- {
 				preds[l].next[l].Store(victim.next[l].Load())
 			}
 			t.maybeTruncate(preds[0], key)
 			unlock()
 			victim.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		unlock()
+		retries++
 		t.find(key, &preds, &succs)
 	}
 }
@@ -319,12 +346,16 @@ func (t *List) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
 	s := t.src.Peek()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
 
 	// Position via the current index, then verify the landing point was
 	// part of the snapshot; if not (inserted or deleted around s), fall
 	// back to the head, which is in every snapshot.
+	mark = tr.Now()
 	pred := t.head
 	for l := maxLevel - 1; l >= 0; l-- {
 		cur := pred.next[l].Load()
@@ -336,13 +367,20 @@ func (t *List) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.
 	if pred != t.head && !visibleAt(pred, s) {
 		pred = t.head
 	}
-	cur, ok := pred.bnd.PtrAt(s)
+	var derefs, spins uint64
+	cur, ok, d, sp := pred.bnd.PtrAtWalk(s)
+	derefs, spins = uint64(d), uint64(sp)
 	for ok && cur != nil && cur.key <= hi {
 		if cur.key >= lo {
 			out = append(out, core.KV{Key: cur.key, Val: cur.val})
 		}
-		cur, ok = cur.bnd.PtrAt(s)
+		cur, ok, d, sp = cur.bnd.PtrAtWalk(s)
+		derefs += uint64(d)
+		spins += uint64(sp)
 	}
+	tr.Span(th.ID, trace.PhaseTraverse, mark)
+	tr.Count(th.ID, trace.PhaseBundleDeref, derefs)
+	tr.Count(th.ID, trace.PhasePendingWait, spins)
 	th.DoneRQ()
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"tscds/internal/core"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/vcas"
 )
 
@@ -56,6 +57,7 @@ type VcasList struct {
 	src  core.Source
 	reg  *core.Registry
 	gc   *obs.GC
+	tr   *trace.Recorder
 	head *vskipNode
 	rngs []core.PaddedUint64
 }
@@ -79,6 +81,18 @@ func (t *VcasList) Source() core.Source { return t.src }
 // SetGC wires reclamation reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
+
+// SetTrace attaches a flight recorder (nil disables it). Call before the
+// list sees concurrent traffic.
+func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// noteRetries reports an update's validation-failure retries.
+func (t *VcasList) noteRetries(th *core.Thread, retries uint64) {
+	if t.tr == nil || retries == 0 {
+		return
+	}
+	t.tr.Count(th.ID, trace.PhaseRetry, retries)
+}
 
 func (t *VcasList) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
@@ -173,6 +187,7 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 	}
 	topLevel := t.randLevel(th.ID)
 	var preds, succs [maxLevel]*vskipNode
+	var retries uint64
 	for {
 		if lFound := t.find(key, &preds, &succs); lFound != -1 {
 			f := succs[lFound]
@@ -180,8 +195,10 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 				for !f.linked.Load() {
 					runtime.Gosched()
 				}
+				t.noteRetries(th, retries)
 				return false
 			}
+			retries++
 			continue // dying node; its unlink is imminent
 		}
 		unlock := vLockPreds(&preds, topLevel)
@@ -196,6 +213,7 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 		}
 		if !valid {
 			unlock()
+			retries++
 			continue
 		}
 		n := newVskipNode(key, val, topLevel)
@@ -213,6 +231,7 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 		n.linked.Store(true)
 		t.maybeTruncate(preds[0], key)
 		unlock()
+		t.noteRetries(th, retries)
 		return true
 	}
 }
@@ -234,6 +253,7 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 		return false
 	}
 	victim.dead.Write(t.src, true) // linearization of the delete
+	var retries uint64
 	for {
 		unlock := vLockPreds(&preds, victim.topLevel)
 		valid := true
@@ -252,9 +272,11 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 			t.maybeTruncate(preds[0], key)
 			unlock()
 			victim.mu.Unlock()
+			t.noteRetries(th, retries)
 			return true
 		}
 		unlock()
+		retries++
 		t.find(key, &preds, &succs)
 	}
 }
@@ -280,11 +302,16 @@ func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []c
 		hi = MaxKey
 	}
 	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
 	s := t.src.Snapshot()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
 
 	// Position via the raw index; verify the landing point belongs to
 	// the snapshot, else fall back to the head.
+	mark = tr.Now()
+	var walk uint64
 	pred := t.head
 	for l := maxLevel - 1; l >= 1; l-- {
 		cur := pred.nextAt(l)
@@ -294,19 +321,27 @@ func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []c
 		}
 	}
 	if pred != t.head {
-		if d, ok := pred.dead.ReadVersion(t.src, s); !ok || d {
+		d, ok, h := pred.dead.ReadVersionWalk(t.src, s)
+		walk += uint64(h)
+		if !ok || d {
 			pred = t.head
 		}
 	}
-	cur, _ := pred.next0.ReadVersion(t.src, s)
+	cur, _, h := pred.next0.ReadVersionWalk(t.src, s)
+	walk += uint64(h)
 	for cur != nil && cur.key <= hi {
 		if cur.key >= lo {
-			if d, ok := cur.dead.ReadVersion(t.src, s); ok && !d {
+			d, ok, h := cur.dead.ReadVersionWalk(t.src, s)
+			walk += uint64(h)
+			if ok && !d {
 				out = append(out, core.KV{Key: cur.key, Val: cur.val})
 			}
 		}
-		cur, _ = cur.next0.ReadVersion(t.src, s)
+		cur, _, h = cur.next0.ReadVersionWalk(t.src, s)
+		walk += uint64(h)
 	}
+	tr.Span(th.ID, trace.PhaseTraverse, mark)
+	tr.Count(th.ID, trace.PhaseVersionWalk, walk)
 	th.DoneRQ()
 	return out
 }

@@ -1,0 +1,140 @@
+package tsc
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.Sample(0)
+	h.Probe(2, time.Millisecond)
+	if h.TicksPerNS() != 0 {
+		t.Fatal("nil TicksPerNS != 0")
+	}
+	s := h.Snapshot()
+	if s.State != StateFallback {
+		t.Fatalf("nil state = %q, want fallback", s.State)
+	}
+}
+
+func TestHealthCalibration(t *testing.T) {
+	h := NewHealth(4)
+	if h.TicksPerNS() <= 0 {
+		t.Fatalf("ticks/ns = %v, want > 0", h.TicksPerNS())
+	}
+	// The fallback clock and any real TSC both run within [0.01, 100]
+	// ticks per nanosecond; anything outside means calibration is broken.
+	if r := h.TicksPerNS(); r < 0.01 || r > 100 {
+		t.Fatalf("implausible tick rate %v/ns", r)
+	}
+}
+
+func TestHealthSampleAndSnapshot(t *testing.T) {
+	h := NewHealth(2)
+	for i := 0; i < 100; i++ {
+		h.Sample(0)
+		h.Sample(1)
+	}
+	s := h.Snapshot()
+	if s.Samples != 200 {
+		t.Fatalf("samples = %d, want 200", s.Samples)
+	}
+	if len(s.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(s.Threads))
+	}
+	for _, th := range s.Threads {
+		if th.Samples != 100 {
+			t.Fatalf("thread %d samples = %d, want 100", th.Thread, th.Samples)
+		}
+		if th.OffsetTicks > 0 {
+			t.Fatalf("thread %d offset %d > 0 (last reading above global max?)", th.Thread, th.OffsetTicks)
+		}
+	}
+	if s.State != StateHealthy && s.State != StateDegraded && s.State != StateFallback {
+		t.Fatalf("state = %q", s.State)
+	}
+	// The fallback monotonic clock can never regress; a real invariant
+	// TSC on healthy hardware should not either.
+	if !Supported() || !Invariant() {
+		if s.State != StateFallback {
+			t.Fatalf("state = %q without hardware TSC, want fallback", s.State)
+		}
+		if len(s.Warnings) == 0 {
+			t.Fatal("fallback state must carry a warning")
+		}
+	}
+}
+
+func TestHealthProbe(t *testing.T) {
+	h := NewHealth(4)
+	h.Probe(2, 5*time.Millisecond)
+	s := h.Snapshot()
+	if len(s.Probes) != 2 {
+		t.Fatalf("probes = %d, want 2", len(s.Probes))
+	}
+	for _, p := range s.Probes {
+		if p.Samples == 0 {
+			t.Fatalf("probe thread %d took no samples", p.Thread)
+		}
+	}
+	if s.Samples == 0 || s.CrossRegressions > s.Samples {
+		t.Fatalf("samples=%d cross=%d", s.Samples, s.CrossRegressions)
+	}
+}
+
+// TestHealthConcurrentSampling: Sample from many goroutines while
+// snapshotting (exercised under -race via make check).
+func TestHealthConcurrentSampling(t *testing.T) {
+	const workers = 8
+	h := NewHealth(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Sample(tid)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Samples; got != workers*2000 {
+		t.Fatalf("samples = %d, want %d", got, workers*2000)
+	}
+}
+
+func TestHealthJSON(t *testing.T) {
+	h := NewHealth(2)
+	h.Sample(0)
+	var s HealthSnapshot
+	if err := json.Unmarshal([]byte(h.String()), &s); err != nil {
+		t.Fatalf("health JSON: %v", err)
+	}
+	if s.TicksPerNS <= 0 {
+		t.Fatalf("parsed ticks/ns = %v", s.TicksPerNS)
+	}
+	var nilH *Health
+	if err := json.Unmarshal([]byte(nilH.String()), &s); err != nil {
+		t.Fatalf("nil health JSON: %v", err)
+	}
+}
+
+func TestHealthOutOfRangeThread(t *testing.T) {
+	h := NewHealth(1)
+	h.Sample(-1)
+	h.Sample(5)
+	if got := len(h.Snapshot().Threads); got != 0 {
+		t.Fatalf("out-of-range tids produced %d thread entries", got)
+	}
+}

@@ -122,16 +122,26 @@ func (o *Object[V]) Write(src core.Source, new V) {
 // version that old (callers reaching an object through an edge labeled
 // <= s never see that, because Init labels with 0).
 func (o *Object[V]) ReadVersion(src core.Source, s core.TS) (V, bool) {
+	v, ok, _ := o.ReadVersionWalk(src, s)
+	return v, ok
+}
+
+// ReadVersionWalk is ReadVersion returning additionally the number of
+// chain hops taken past the head — the per-read cost of version history,
+// which the tracing layer aggregates as the version-walk phase.
+func (o *Object[V]) ReadVersionWalk(src core.Source, s core.TS) (V, bool, int) {
 	v := o.head.Load()
 	label(src, v)
+	hops := 0
 	for v != nil && v.ts.Load() > s {
 		v = v.prev.Load()
+		hops++
 	}
 	if v == nil {
 		var zero V
-		return zero, false
+		return zero, false, hops
 	}
-	return v.val, true
+	return v.val, true, hops
 }
 
 // Head exposes the newest version (tests and invariant checks).

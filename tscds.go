@@ -45,6 +45,7 @@ import (
 	"tscds/internal/lazylist"
 	"tscds/internal/lfbst"
 	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
 	"tscds/internal/skiplist"
 	"tscds/internal/tsc"
 )
@@ -147,7 +148,31 @@ type Config struct {
 	// uninstrumented: the only cost is one pointer test per operation.
 	// A registry may be shared by several Maps; counters then aggregate.
 	Metrics *Metrics
+	// Trace, when non-nil, attaches a flight recorder to the constructed
+	// Map: per-thread event rings of op begin/end records plus per-phase
+	// spans and counters (traversal, timestamp read, labeling, retries,
+	// helping, lock waits, limbo scans) from the technique layers. Nil
+	// (the default) keeps every instrumentation point at one pointer
+	// test; see TestTraceDisabledNoAllocs.
+	Trace *TraceConfig
 }
+
+// TraceConfig parameterizes the flight recorder enabled by Config.Trace.
+type TraceConfig struct {
+	// RingSize is each thread's event-ring capacity, rounded up to a
+	// power of two. Zero means trace.DefaultRingSize. The rings keep the
+	// newest RingSize events per thread; aggregates cover everything.
+	RingSize int
+}
+
+// Tracer is the flight recorder attached to a Map by Config.Trace; see
+// package internal/obs/trace. Its String method renders the aggregate
+// snapshot as JSON, so it can be registered on a stats endpoint.
+type Tracer = trace.Recorder
+
+// TraceSnapshot is the exported point-in-time state of a Map's flight
+// recorder; it marshals to stable JSON.
+type TraceSnapshot = trace.Snapshot
 
 // Metrics collects operation, timestamp-source and reclamation
 // statistics from Maps constructed with Config.Metrics set. Snapshot
@@ -196,6 +221,14 @@ type Map interface {
 	Technique() Technique
 	// Source reports the timestamp kind in use.
 	Source() SourceKind
+	// Tracer returns the flight recorder attached via Config.Trace, or
+	// nil when tracing is disabled.
+	Tracer() *Tracer
+	// TraceSnapshot exports the flight recorder's current state (the
+	// zero snapshot when tracing is disabled). events selects whether
+	// the decoded per-thread event rings are included alongside the
+	// aggregates.
+	TraceSnapshot(events bool) TraceSnapshot
 }
 
 // MaxKey is the largest key storable in every Map (a few top values are
@@ -249,11 +282,20 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
+	var tr *trace.Recorder
+	if cfg.Trace != nil {
+		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
+	}
 	newWrap := func(m inner, shift uint64) Map {
-		w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics}
+		w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr}
 		if cfg.Metrics != nil {
 			if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
 				g.SetGC(&cfg.Metrics.GC)
+			}
+		}
+		if tr != nil {
+			if st, ok := m.(interface{ SetTrace(*trace.Recorder) }); ok {
+				st.SetTrace(tr)
 			}
 		}
 		return w
@@ -337,9 +379,9 @@ type inner interface {
 }
 
 // wrap adapts an internal structure to Map. shift offsets keys upward
-// for structures that reserve key 0 as their head sentinel. obs, when
-// non-nil, receives per-operation counts and latencies; each public
-// method pays only a nil test when it is unset.
+// for structures that reserve key 0 as their head sentinel. obs and tr,
+// when non-nil, receive per-operation counts/latencies and flight-record
+// events; each public method pays only nil tests when they are unset.
 type wrap struct {
 	m     inner
 	reg   *core.Registry
@@ -348,20 +390,31 @@ type wrap struct {
 	src   SourceKind
 	shift uint64
 	obs   *obs.Registry
+	tr    *trace.Recorder
 }
 
 func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
+
+// observe records one finished operation into whichever sinks are wired.
+func (w *wrap) observe(th *Thread, oo obs.OpClass, to trace.Op, start time.Time) {
+	el := time.Since(start)
+	if w.obs != nil {
+		w.obs.ObserveOp(oo, el)
+	}
+	w.tr.OpEnd(th.ID, to, uint64(el.Nanoseconds()))
+}
 
 func (w *wrap) Insert(th *Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	if w.obs == nil {
+	if w.obs == nil && w.tr == nil {
 		return w.m.Insert(th, key+w.shift, val)
 	}
+	w.tr.OpBegin(th.ID, trace.OpUpdate)
 	start := time.Now()
 	ok := w.m.Insert(th, key+w.shift, val)
-	w.obs.ObserveOp(obs.OpUpdate, time.Since(start))
+	w.observe(th, obs.OpUpdate, trace.OpUpdate, start)
 	return ok
 }
 
@@ -369,12 +422,13 @@ func (w *wrap) Delete(th *Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	if w.obs == nil {
+	if w.obs == nil && w.tr == nil {
 		return w.m.Delete(th, key+w.shift)
 	}
+	w.tr.OpBegin(th.ID, trace.OpUpdate)
 	start := time.Now()
 	ok := w.m.Delete(th, key+w.shift)
-	w.obs.ObserveOp(obs.OpUpdate, time.Since(start))
+	w.observe(th, obs.OpUpdate, trace.OpUpdate, start)
 	return ok
 }
 
@@ -382,12 +436,13 @@ func (w *wrap) Contains(th *Thread, key uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	if w.obs == nil {
+	if w.obs == nil && w.tr == nil {
 		return w.m.Contains(th, key+w.shift)
 	}
+	w.tr.OpBegin(th.ID, trace.OpContains)
 	start := time.Now()
 	ok := w.m.Contains(th, key+w.shift)
-	w.obs.ObserveOp(obs.OpContains, time.Since(start))
+	w.observe(th, obs.OpContains, trace.OpContains, start)
 	return ok
 }
 
@@ -395,12 +450,13 @@ func (w *wrap) Get(th *Thread, key uint64) (uint64, bool) {
 	if key > MaxKey {
 		return 0, false
 	}
-	if w.obs == nil {
+	if w.obs == nil && w.tr == nil {
 		return w.m.Get(th, key+w.shift)
 	}
+	w.tr.OpBegin(th.ID, trace.OpContains)
 	start := time.Now()
 	v, ok := w.m.Get(th, key+w.shift)
-	w.obs.ObserveOp(obs.OpContains, time.Since(start))
+	w.observe(th, obs.OpContains, trace.OpContains, start)
 	return v, ok
 }
 
@@ -411,12 +467,13 @@ func (w *wrap) RangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV {
 	if hi > MaxKey {
 		hi = MaxKey
 	}
-	if w.obs == nil {
+	if w.obs == nil && w.tr == nil {
 		return w.rangeQuery(th, lo, hi, buf)
 	}
+	w.tr.OpBegin(th.ID, trace.OpRange)
 	start := time.Now()
 	buf = w.rangeQuery(th, lo, hi, buf)
-	w.obs.ObserveOp(obs.OpRange, time.Since(start))
+	w.observe(th, obs.OpRange, trace.OpRange, start)
 	return buf
 }
 
@@ -459,3 +516,8 @@ func (w *wrap) Drain() {
 func (w *wrap) Structure() Structure { return w.s }
 func (w *wrap) Technique() Technique { return w.t }
 func (w *wrap) Source() SourceKind   { return w.src }
+func (w *wrap) Tracer() *Tracer      { return w.tr }
+
+func (w *wrap) TraceSnapshot(events bool) TraceSnapshot {
+	return w.tr.Snapshot(events)
+}
