@@ -43,10 +43,11 @@ type figure struct {
 // figuresOverride is set by -custom.
 var figuresOverride *figure
 
-// metricsOn is set by -metrics, traceOn by -trace.
+// metricsOn is set by -metrics, traceOn by -trace, shardCount by -shards.
 var (
-	metricsOn bool
-	traceOn   bool
+	metricsOn  bool
+	traceOn    bool
+	shardCount int
 )
 
 // curMetrics and curTracer always point at the arm currently running, so
@@ -59,8 +60,15 @@ var (
 )
 
 // newMap builds an arm's map, attaching a fresh metrics registry when
-// -metrics is set and a flight recorder when -trace is set.
+// -metrics is set and a flight recorder when -trace is set. With
+// -shards above 1 the map is built through the sharded front end.
 func newMap(s tscds.Structure, t tscds.Technique, src tscds.SourceKind) (tscds.Map, *tscds.Metrics, error) {
+	return newMapN(s, t, src, shardCount)
+}
+
+// newMapN is newMap at an explicit shard count (the shard-sweep figure
+// varies it per point).
+func newMapN(s tscds.Structure, t tscds.Technique, src tscds.SourceKind, shards int) (tscds.Map, *tscds.Metrics, error) {
 	cfg := tscds.Config{Source: src, MaxThreads: 512}
 	if metricsOn {
 		cfg.Metrics = tscds.NewMetrics()
@@ -68,7 +76,13 @@ func newMap(s tscds.Structure, t tscds.Technique, src tscds.SourceKind) (tscds.M
 	if traceOn {
 		cfg.Trace = &tscds.TraceConfig{}
 	}
-	m, err := tscds.New(s, t, cfg)
+	var m tscds.Map
+	var err error
+	if shards > 1 {
+		m, err = tscds.NewSharded(s, t, shards, cfg)
+	} else {
+		m, err = tscds.New(s, t, cfg)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -249,8 +263,54 @@ func figures() map[string]figure {
 	}
 }
 
+// runShardSweep regenerates the sharded Logical-vs-TSC arm: one fixed
+// thread count, shard counts 1-8, a range-query-heavy mix over the
+// lock-free BST with vCAS. Sharding cuts structural contention on point
+// operations S ways, but every range query still obtains its snapshot
+// bound from the ONE shared source — so the Logical column flattens as
+// shards grow (each query is a fetch-and-add on the same cache line,
+// now arriving from S times less structure work) while the TSC column,
+// whose timestamp is a core-local read, keeps the per-shard gains. This
+// is the re-serialization cliff; see EXPERIMENTS.md.
+func runShardSweep(threads []int, wl bench.Workload, duration time.Duration, trials int) {
+	n := threads[len(threads)-1]
+	shardCounts := []int{1, 2, 4, 8}
+	results := map[string][]bench.Result{}
+	for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+		name := "vCAS"
+		if src == tscds.TSC {
+			name += "-RDTSCP"
+		}
+		for _, sc := range shardCounts {
+			m, mreg, err := newMapN(tscds.BST, tscds.VCAS, src, sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
+				Threads: n, Duration: duration, Trials: trials, Pin: true, Seed: 7,
+			}, arm{name, tscds.BST, tscds.VCAS}, src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			results[name] = append(results[name], res)
+			dumpMetrics(fmt.Sprintf("%s shards=%d %s", name, sc, wl.Label()), mreg)
+			dumpTrace(fmt.Sprintf("%s shards=%d %s", name, sc, wl.Label()), m)
+		}
+	}
+	fmt.Println(bench.AxisTable(
+		fmt.Sprintf("Figure shard (re-serialization cliff), workload %s, %d threads, native (%d trials x %v)",
+			wl.Label(), n, trials, duration),
+		"shards", shardCounts, results))
+}
+
 func main() {
-	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy")
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard")
 	mode := flag.String("mode", "native", "native or sim")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
@@ -265,9 +325,11 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "native: record per-phase flight traces, print breakdowns per arm, monitor TSC health")
 	metricsInterval := flag.Duration("metrics-interval", 0, "native: with -metrics, sample snapshots at this interval into BENCH_metrics.json")
 	serveAddr := flag.String("serve", "", "native: serve live /metrics, /trace and /tschealth on this address (e.g. :8080)")
+	shardsFlag := flag.Int("shards", 1, "native: partition each map across this many shards (figure 'shard' sweeps 1,2,4,8 itself)")
 	flag.Parse()
 	metricsOn = *metrics
 	traceOn = *traceFlag
+	shardCount = *shardsFlag
 
 	if traceOn {
 		tscHealth = tsc.NewHealth(512)
@@ -306,6 +368,26 @@ func main() {
 			os.Exit(1)
 		}
 		figuresOverride = &f2
+	}
+
+	if *custom == "" && *fig == "shard" {
+		if *mode == "sim" {
+			fmt.Fprintln(os.Stderr, "figure shard runs natively only")
+			os.Exit(1)
+		}
+		threads, err := bench.ParseThreads(*threadsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wl := bench.PaperWorkload(10, 30, 60) // range-heavy: the cliff is a range-query effect
+		wl.KeyRange = *keyRange
+		wl.ZipfS = *zipf
+		runShardSweep(threads, wl, *duration, *trials)
+		if tscHealth != nil {
+			fmt.Printf("tschealth %s\n", tscHealth.String())
+		}
+		return
 	}
 
 	var f figure

@@ -2,8 +2,58 @@ package tscds
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 )
+
+// checkRangeAgainstModel compares one RangeQuery and one Scan of [lo,hi]
+// against the model, key for key in sorted order — not just counts, so a
+// snapshot returning the right number of wrong pairs cannot pass.
+func checkRangeAgainstModel(t *testing.T, label string, m Map, th *Thread, model map[uint64]uint64, lo, hi uint64) {
+	t.Helper()
+	var want []KV
+	for k, v := range model {
+		if k >= lo && k <= hi {
+			want = append(want, KV{Key: k, Val: v})
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+
+	got := m.RangeQuery(th, lo, hi, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+	if len(got) != len(want) {
+		t.Fatalf("%s: range[%d,%d] = %d pairs, want %d", label, lo, hi, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: range[%d,%d][%d] = %v, want %v", label, lo, hi, i, got[i], want[i])
+		}
+	}
+
+	var scanned []KV
+	m.Scan(th, lo, hi, func(kv KV) bool {
+		scanned = append(scanned, kv)
+		return true
+	})
+	if len(scanned) != len(want) {
+		t.Fatalf("%s: scan[%d,%d] = %d pairs, want %d", label, lo, hi, len(scanned), len(want))
+	}
+	for i := range scanned {
+		if scanned[i] != want[i] { // Scan contract: ascending key order
+			t.Fatalf("%s: scan[%d,%d][%d] = %v, want %v", label, lo, hi, i, scanned[i], want[i])
+		}
+	}
+	if len(want) > 1 {
+		calls := 0
+		m.Scan(th, lo, hi, func(KV) bool {
+			calls++
+			return false
+		})
+		if calls != 1 {
+			t.Fatalf("%s: early-exit scan made %d calls, want 1", label, calls)
+		}
+	}
+}
 
 // FuzzMapAgainstModel feeds arbitrary operation tapes through every
 // (structure, technique) pair and a reference map simultaneously. Each
@@ -59,32 +109,89 @@ func FuzzMapAgainstModel(f *testing.F) {
 						t.Fatalf("%v/%v op %d: Contains(%d)=%v want %v", c.S, c.T, i, key, got, exists)
 					}
 				default:
-					lo := key
-					hi := lo + 16
-					got := m.RangeQuery(th, lo, hi, nil)
-					want := 0
-					for k := range model {
-						if k >= lo && k <= hi {
-							want++
-						}
-					}
-					if len(got) != want {
-						t.Fatalf("%v/%v op %d: range[%d,%d] = %d keys, want %d",
-							c.S, c.T, i, lo, hi, len(got), want)
-					}
-					for _, kv := range got {
-						if v, ok := model[kv.Key]; !ok || v != kv.Val {
-							t.Fatalf("%v/%v: range kv %v disagrees with model", c.S, c.T, kv)
-						}
-					}
+					label := fmt.Sprintf("%v/%v op %d", c.S, c.T, i)
+					checkRangeAgainstModel(t, label, m, th, model, key, key+16)
 				}
 			}
 			// Final full-range agreement.
-			got := m.RangeQuery(th, 0, MaxKey, nil)
-			if len(got) != len(model) || m.Len() != len(model) {
-				t.Fatalf("%v/%v final: range=%d Len=%d model=%d", c.S, c.T, len(got), m.Len(), len(model))
+			checkRangeAgainstModel(t, fmt.Sprintf("%v/%v final", c.S, c.T), m, th, model, 0, MaxKey)
+			if m.Len() != len(model) {
+				t.Fatalf("%v/%v final: Len=%d model=%d", c.S, c.T, m.Len(), len(model))
 			}
 			th.Release()
+		}
+	})
+}
+
+// FuzzShardedAgainstModel is FuzzMapAgainstModel through the sharded
+// front end: the first tape byte picks the shard count (1-8), the second
+// the (structure, technique) pair, and the rest is an op tape whose range
+// queries are compared against the model key for key — so a cross-shard
+// snapshot that loses, duplicates or misroutes a key cannot pass.
+func FuzzShardedAgainstModel(f *testing.F) {
+	for n := byte(0); n < 8; n++ {
+		f.Add(append([]byte{n, n}, 0, 1, 0, 2, 2, 1, 1, 1, 3, 0))
+	}
+	seq := []byte{3, 4}
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i%4), byte(i*7))
+	}
+	f.Add(seq)
+
+	combos := allCombos()
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) < 2 {
+			return
+		}
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		shards := int(tape[0]%8) + 1
+		c := combos[int(tape[1])%len(combos)]
+		tape = tape[2:]
+		label := fmt.Sprintf("%v/%v/shards=%d", c.S, c.T, shards)
+
+		m, err := NewSharded(c.S, c.T, shards, Config{Source: Logical, MaxThreads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := m.RegisterThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Release()
+		model := map[uint64]uint64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op := tape[i] % 4
+			key := uint64(tape[i+1])
+			switch op {
+			case 0:
+				_, exists := model[key]
+				if got := m.Insert(th, key, key*3); got == exists {
+					t.Fatalf("%s op %d: Insert(%d)=%v exists=%v", label, i, key, got, exists)
+				}
+				if !exists {
+					model[key] = key * 3
+				}
+			case 1:
+				_, exists := model[key]
+				if got := m.Delete(th, key); got != exists {
+					t.Fatalf("%s op %d: Delete(%d)=%v exists=%v", label, i, key, got, exists)
+				}
+				delete(model, key)
+			case 2:
+				_, exists := model[key]
+				if got := m.Contains(th, key); got != exists {
+					t.Fatalf("%s op %d: Contains(%d)=%v want %v", label, i, key, got, exists)
+				}
+			default:
+				// Width under the shard count exercises partial fan-outs.
+				checkRangeAgainstModel(t, fmt.Sprintf("%s op %d", label, i), m, th, model, key, key+3)
+			}
+		}
+		checkRangeAgainstModel(t, label+" final", m, th, model, 0, MaxKey)
+		if m.Len() != len(model) {
+			t.Fatalf("%s final: Len=%d model=%d", label, m.Len(), len(model))
 		}
 	})
 }

@@ -311,6 +311,12 @@ func meanCV(xs []float64) (mean, cv float64) {
 // Table renders results as an aligned text table, one row per thread
 // count, one column per series.
 func Table(title string, threads []int, series map[string][]Result) string {
+	return AxisTable(title, "threads", threads, series)
+}
+
+// AxisTable is Table with a caller-chosen row axis — the shard-sweep
+// figure rows by shard count at a fixed thread count, for example.
+func AxisTable(title, axis string, rows []int, series map[string][]Result) string {
 	var names []string
 	for name := range series {
 		names = append(names, name)
@@ -318,12 +324,12 @@ func Table(title string, threads []int, series map[string][]Result) string {
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%8s", "threads")
+	fmt.Fprintf(&b, "%8s", axis)
 	for _, n := range names {
 		fmt.Fprintf(&b, " %18s", n)
 	}
 	b.WriteString("\n")
-	for i, t := range threads {
+	for i, t := range rows {
 		fmt.Fprintf(&b, "%8d", t)
 		for _, n := range names {
 			rs := series[n]

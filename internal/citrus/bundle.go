@@ -270,9 +270,6 @@ func (t *BundleTree) maybeTruncate(n *bnode, key uint64) {
 // workload shows no benefit from TSC — Figure 3a's flat pair of Bundle
 // curves — while update-heavy mixes do.
 func (t *BundleTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if hi > MaxKey {
-		hi = MaxKey
-	}
 	th.BeginRQ()
 	tr := t.tr
 	var mark uint64
@@ -282,6 +279,21 @@ func (t *BundleTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) [
 	s := t.src.Peek()
 	if tr != nil {
 		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	}
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps bundle entries labeled at or below s from being truncated before
+// the announcement lands here.
+func (t *BundleTree) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
 		mark = tr.Now()
 	}
 	th.AnnounceRQ(s)

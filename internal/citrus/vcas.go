@@ -258,9 +258,6 @@ func (t *VcasTree) maybeTruncate(n *vnode, key uint64) {
 // (Source.Snapshot) — the fetch-and-add that dominates read-heavy
 // workloads in Figure 3 until TSC removes it.
 func (t *VcasTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if hi > MaxKey {
-		hi = MaxKey
-	}
 	th.BeginRQ()
 	tr := t.tr
 	var mark uint64
@@ -270,6 +267,21 @@ func (t *VcasTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []c
 	s := t.src.Snapshot()
 	if tr != nil {
 		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	}
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps versions labeled at or below s from being truncated before the
+// announcement lands here.
+func (t *VcasTree) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
 		mark = tr.Now()
 	}
 	th.AnnounceRQ(s)

@@ -115,19 +115,45 @@ func (p *Provider) Source() core.Source { return p.src }
 // assigned by updates that linearize later are strictly greater than s
 // (up to the theoretical TSC tie of §III-A).
 func (p *Provider) Snapshot() core.TS {
-	if p.variant == LockBased {
-		if p.tr != nil {
-			w := p.tr.Now()
-			p.mu.Lock()
-			p.tr.SharedSpan(trace.PhaseLockWait, w)
-		} else {
-			p.mu.Lock()
-		}
-		s := p.src.Snapshot()
-		p.mu.Unlock()
-		return s
+	p.RQLock()
+	s := p.src.Snapshot()
+	p.RQUnlock()
+	return s
+}
+
+// RQLock acquires the range-query side of the labeling discipline: in
+// the lock-based variant the exclusive half of the readers-writer lock,
+// which waits out every in-flight (read, label) pair so that labels
+// assigned after the caller reads its snapshot bound are at least that
+// bound. A no-op in the lock-free variant, whose DCSS validates the
+// bound at its address instead.
+//
+// Cross-shard range queries use the split pair directly: they RQLock
+// every overlapping shard's provider (in shard order, so concurrent
+// fan-outs cannot deadlock), read one shared timestamp, and RQUnlock —
+// extending the single-structure atomicity argument to a common
+// snapshot instant. Single-shard queries use Snapshot, which wraps the
+// pair around its own source read.
+func (p *Provider) RQLock() {
+	if p.variant != LockBased {
+		return
 	}
-	return p.src.Snapshot()
+	if p.tr != nil {
+		w := p.tr.Now()
+		p.mu.Lock()
+		p.tr.SharedSpan(trace.PhaseLockWait, w)
+		return
+	}
+	p.mu.Lock()
+}
+
+// RQUnlock releases what RQLock acquired (a no-op in the lock-free
+// variant).
+func (p *Provider) RQUnlock() {
+	if p.variant != LockBased {
+		return
+	}
+	p.mu.Unlock()
 }
 
 // Label assigns the current timestamp to l atomically with reading it,

@@ -207,19 +207,28 @@ func (t *BundleList) maybeTruncate(n *bnode, key uint64) {
 // exactly why the paper saw no TSC gain here — the O(n) walk dwarfs the
 // timestamp access.
 func (t *BundleList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
+	s := t.src.Peek()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps bundle entries labeled at or below s from being truncated before
+// the announcement lands here.
+func (t *BundleList) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
 	if lo == 0 {
 		lo = 1
 	}
 	if hi > MaxKey {
 		hi = MaxKey
 	}
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Peek()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
-	mark = tr.Now()
+	mark := tr.Now()
 	var derefs, spins uint64
 	cur, ok, d, sp := t.head.bnd.PtrAtWalk(s)
 	derefs, spins = uint64(d), uint64(sp)
@@ -399,19 +408,28 @@ func (t *VcasList) maybeTruncate(n *vnode, key uint64) {
 // RangeQuery appends every pair in [lo,hi] as of one snapshot (vCAS
 // style: the query advances the camera).
 func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
+	s := t.src.Snapshot()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps versions labeled at or below s from being truncated before the
+// announcement lands here.
+func (t *VcasList) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
 	if lo == 0 {
 		lo = 1
 	}
 	if hi > MaxKey {
 		hi = MaxKey
 	}
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Snapshot()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
-	mark = tr.Now()
+	mark := tr.Now()
 	var walk uint64
 	cur, _, h := t.head.next.ReadVersionWalk(t.src, s)
 	walk += uint64(h)

@@ -370,11 +370,7 @@ func (t *EBRTree) casChild(parent, old, new *enode) bool {
 // linearizable snapshot: live leaves satisfying the visibility predicate
 // plus limbo leaves deleted after the snapshot bound.
 func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if hi > MaxKey {
-		hi = MaxKey
-	}
 	th.BeginRQ()
-	t.em.Pin(th.ID)
 	tr := t.tr
 	var mark uint64
 	if tr != nil {
@@ -385,6 +381,24 @@ func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 		// Includes the exclusive lock acquisition the lock-based variant
 		// needs; the wait alone also lands in the shared lock-wait phase.
 		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	}
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s, and — for the
+// lock-based variant — must have obtained s while holding this tree's
+// Provider RQLock, so every in-flight (read, label) pair on this shard
+// settled at or below s. The reservation keeps limbo nodes with
+// deletion labels at or below s scannable until the announcement lands.
+func (t *EBRTree) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	t.em.Pin(th.ID)
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
 		mark = tr.Now()
 	}
 	th.AnnounceRQ(s)

@@ -340,9 +340,6 @@ func (t *Tree) maybeTruncate(n *node, key uint64) {
 // camera fetch-and-add that Figure 2 shows dominating at scale; with TSC
 // it is a fenced core-local read.
 func (t *Tree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if hi > MaxKey {
-		hi = MaxKey
-	}
 	th.BeginRQ()
 	tr := t.tr
 	var mark uint64
@@ -352,6 +349,24 @@ func (t *Tree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.
 	s := t.src.Snapshot()
 	if tr != nil {
 		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	}
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided snapshot
+// bound s, announcing it on th and withdrawing the announcement before
+// returning. The caller must have called th.BeginRQ before obtaining s
+// (cross-shard queries reserve every shard, then read one shared
+// timestamp); the reservation is what keeps version chains with labels
+// at or below s from being truncated in the window before s is
+// announced here.
+func (t *Tree) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
 		mark = tr.Now()
 	}
 	th.AnnounceRQ(s)

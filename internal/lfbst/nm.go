@@ -294,9 +294,6 @@ func (t *NMTree) maybeTruncate(n *nmNode, key uint64) {
 // RangeQuery appends every pair with lo <= key <= hi as of one
 // linearizable snapshot, traversing edge versions and ignoring marks.
 func (t *NMTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if hi > MaxNMKey {
-		hi = MaxNMKey
-	}
 	th.BeginRQ()
 	tr := t.tr
 	var mark uint64
@@ -306,6 +303,20 @@ func (t *NMTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []cor
 	s := t.src.Snapshot()
 	if tr != nil {
 		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	}
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; see
+// Tree.RangeQueryAt.
+func (t *NMTree) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if hi > MaxNMKey {
+		hi = MaxNMKey
+	}
+	tr := t.tr
+	var mark uint64
+	if tr != nil {
 		mark = tr.Now()
 	}
 	th.AnnounceRQ(s)

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"tscds"
+	"tscds/internal/core"
+	"tscds/internal/lfbst"
 )
 
 func uev(op OpKind, key, val uint64, inv, ret int64, ok bool) Event {
@@ -194,6 +196,54 @@ func TestCheckerDetectsInjectedFault(t *testing.T) {
 	})
 	if !errors.Is(err, ErrNotLinearizable) {
 		t.Fatalf("injected faults went undetected: %v", err)
+	}
+}
+
+// TestCheckRejectsTornCrossShardSnapshot builds the exact failure the
+// sharded fan-out's one-shared-timestamp protocol exists to prevent:
+// two per-shard structures over one source, with shard A collected at a
+// bound read BEFORE two inserts (one per shard) and shard B at a bound
+// read AFTER them. The stitched result misses shard A's key yet contains
+// shard B's later one — a state no single instant exhibits — and the
+// checker must say so.
+func TestCheckRejectsTornCrossShardSnapshot(t *testing.T) {
+	src := core.New(core.Logical)
+	regA, regB := core.NewRegistry(2), core.NewRegistry(2)
+	shardA, shardB := lfbst.New(src, regA), lfbst.New(src, regB)
+	rqA, rqB := regA.MustRegister(), regB.MustRegister()
+	wA, wB := regA.MustRegister(), regB.MustRegister()
+
+	// Torn protocol: shard A's bound first, shard B's only after the
+	// inserts land. (The real fan-out reserves both shards and reads the
+	// shared source exactly once between the reservations.)
+	rqA.BeginRQ()
+	sA := src.Snapshot()
+
+	vEven, vOdd := value(1, 1), value(1, 2)
+	evEven := Event{Op: OpInsert, Thread: 1, Key: 2, Val: vEven, Inv: 1, Ret: 2, OK: shardA.Insert(wA, 2, vEven)}
+	evOdd := Event{Op: OpInsert, Thread: 1, Key: 3, Val: vOdd, Inv: 3, Ret: 4, OK: shardB.Insert(wB, 3, vOdd)}
+	if !evEven.OK || !evOdd.OK {
+		t.Fatal("setup inserts failed")
+	}
+
+	rqB.BeginRQ()
+	sB := src.Snapshot()
+	kvs := shardA.RangeQueryAt(rqA, 0, 10, sA, nil)
+	kvs = shardB.RangeQueryAt(rqB, 0, 10, sB, kvs)
+	if len(kvs) != 1 || kvs[0].Key != 3 {
+		t.Fatalf("torn schedule did not tear: collected %v", kvs)
+	}
+
+	h := &History{Cfg: Config{Seed: 1}.withDefaults(), Threads: [][]Event{
+		{Event{Op: OpRange, Thread: 0, Lo: 0, Hi: 10, Inv: 0, Ret: 5, KVs: kvs}},
+		{evEven, evOdd},
+	}}
+	err := Check(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("torn cross-shard snapshot accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no snapshot instant") {
+		t.Fatalf("unexpected violation detail: %v", err)
 	}
 }
 

@@ -278,15 +278,32 @@ func (g *GC) Snapshot() GCSnapshot {
 	}
 }
 
+// ShardStats counts one shard's share of a sharded map's traffic: Ops is
+// point operations (insert/delete/contains/get) routed to the shard by
+// the key partition; RQs is range-query collections that visited the
+// shard (one range query increments RQs on every overlapping shard).
+type ShardStats struct {
+	Ops Counter
+	RQs Counter
+}
+
+// ShardSnapshot is a point-in-time copy of one shard's stats.
+type ShardSnapshot struct {
+	Ops uint64 `json:"ops"`
+	RQs uint64 `json:"rqs"`
+}
+
 // Registry aggregates one data structure's metrics: per-class operation
 // latency histograms (which carry the op counts), timestamp-source stats,
-// and reclamation stats. A Registry is safe for concurrent use by any
-// number of goroutines; all fields are independent atomics.
+// reclamation stats, and — for sharded maps — per-shard routing counts.
+// A Registry is safe for concurrent use by any number of goroutines; all
+// fields are independent atomics.
 type Registry struct {
 	ops      [numOpClasses]Histogram
 	Source   SourceStats
 	GC       GC
 	kind     atomic.Pointer[string]
+	shards   atomic.Pointer[[]*ShardStats]
 	strCache atomic.Pointer[stringCache]
 }
 
@@ -305,6 +322,41 @@ func (r *Registry) ObserveOp(c OpClass, d time.Duration) {
 // When several structures share one registry the last label wins.
 func (r *Registry) SetSourceKind(kind string) { r.kind.Store(&kind) }
 
+// EnsureShards sizes the per-shard stats table to at least n entries.
+// Call before the instrumented map sees traffic; existing entries (and
+// their counts) are preserved, so a registry shared by several sharded
+// maps grows to the widest.
+func (r *Registry) EnsureShards(n int) {
+	for {
+		old := r.shards.Load()
+		if old != nil && len(*old) >= n {
+			return
+		}
+		grown := make([]*ShardStats, n)
+		if old != nil {
+			copy(grown, *old)
+		}
+		for i := range grown {
+			if grown[i] == nil {
+				grown[i] = &ShardStats{}
+			}
+		}
+		if r.shards.CompareAndSwap(old, &grown) {
+			return
+		}
+	}
+}
+
+// Shard returns shard i's stats, or nil when i is outside the table
+// sized by EnsureShards (callers then skip reporting).
+func (r *Registry) Shard(i int) *ShardStats {
+	s := r.shards.Load()
+	if s == nil || i < 0 || i >= len(*s) {
+		return nil
+	}
+	return (*s)[i]
+}
+
 // Snapshot is the exported point-in-time state of a Registry. It
 // marshals to the JSON shape documented in the README's Observability
 // section.
@@ -312,6 +364,8 @@ type Snapshot struct {
 	Source SourceSnapshot          `json:"source"`
 	Ops    map[string]HistSnapshot `json:"ops"`
 	GC     GCSnapshot              `json:"gc"`
+	// Shards is present only for registries wired to a sharded map.
+	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
 
 // Snapshot copies every instrument.
@@ -330,6 +384,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for c := OpClass(0); c < numOpClasses; c++ {
 		s.Ops[c.String()] = r.ops[c].Snapshot()
+	}
+	if sh := r.shards.Load(); sh != nil {
+		s.Shards = make([]ShardSnapshot, len(*sh))
+		for i, st := range *sh {
+			s.Shards[i] = ShardSnapshot{Ops: st.Ops.Load(), RQs: st.RQs.Load()}
+		}
 	}
 	return s
 }
@@ -385,6 +445,13 @@ func (s Snapshot) Summary() string {
 	if g := s.GC; g.BundleEntriesPruned+g.VcasVersionsPruned+g.LimboRetired > 0 {
 		fmt.Fprintf(&b, "  gc: %d bundle entries pruned, %d versions pruned, %d limbo retired (%d pruned, %d live)\n",
 			g.BundleEntriesPruned, g.VcasVersionsPruned, g.LimboRetired, g.LimboPruned, g.LimboLen)
+	}
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(&b, "  shards:")
+		for i, sh := range s.Shards {
+			fmt.Fprintf(&b, " [%d] %d ops / %d rq", i, sh.Ops, sh.RQs)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	if b.Len() == 0 {
 		return "  (no activity recorded)\n"

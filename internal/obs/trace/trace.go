@@ -76,6 +76,11 @@ const (
 	// PhaseAdvanceStall counts failed epoch-advance attempts (a pinned
 	// thread lagging, or a lost CAS).
 	PhaseAdvanceStall
+	// PhaseShardFanout is a sharded range query's cross-shard snapshot
+	// coordination: reserving an announcement slot on every overlapping
+	// shard, acquiring any per-shard provider locks, and reading the one
+	// shared timestamp (span).
+	PhaseShardFanout
 
 	// NumPhases is the number of phases.
 	NumPhases
@@ -108,6 +113,8 @@ func (p Phase) String() string {
 		return "pin-stall"
 	case PhaseAdvanceStall:
 		return "advance-stall"
+	case PhaseShardFanout:
+		return "shard-fanout"
 	}
 	return "unknown"
 }
@@ -116,7 +123,8 @@ func (p Phase) String() string {
 // event units (false).
 func (p Phase) IsSpan() bool {
 	switch p {
-	case PhaseTraverse, PhaseTimestamp, PhaseLabel, PhaseLockWait, PhaseLimboScan:
+	case PhaseTraverse, PhaseTimestamp, PhaseLabel, PhaseLockWait, PhaseLimboScan,
+		PhaseShardFanout:
 		return true
 	}
 	return false

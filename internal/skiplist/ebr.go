@@ -104,6 +104,10 @@ func (t *EBRList) LimboLen() int { return t.em.LimboLen() }
 // Quiescent use only, like Len.
 func (t *EBRList) Drain() { t.em.DrainAll() }
 
+// Provider exposes the timestamp provider (cross-shard snapshot
+// coordination and tests).
+func (t *EBRList) Provider() *ebrrq.Provider { return t.provider }
+
 func (t *EBRList) randLevel(tid int) int {
 	x := t.rngs[tid].Load()
 	if x == 0 {
@@ -301,14 +305,7 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 // snapshot: live-list nodes passing the visibility predicate plus limbo
 // nodes deleted after the bound.
 func (t *EBRList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	if lo == 0 {
-		lo = 1
-	}
-	if hi > MaxKey {
-		hi = MaxKey
-	}
 	th.BeginRQ()
-	t.em.Pin(th.ID)
 	tr := t.tr
 	// The snapshot span covers the provider's exclusive-lock acquisition
 	// (lock-based variant); the wait alone also lands in the shared
@@ -316,11 +313,29 @@ func (t *EBRList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []co
 	mark := tr.Now()
 	s := t.provider.Snapshot()
 	tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s, and — for the
+// lock-based variant — must have obtained s while holding this list's
+// Provider RQLock, so every in-flight (read, label) pair on this shard
+// settled at or below s. The reservation keeps limbo nodes with
+// deletion labels at or below s scannable until the announcement lands.
+func (t *EBRList) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	t.em.Pin(th.ID)
+	tr := t.tr
 	th.AnnounceRQ(s)
 
 	acc := make(map[uint64]uint64)
 	// Current-state walk: position via the index, then sweep level 0.
-	mark = tr.Now()
+	mark := tr.Now()
 	pred := t.head
 	for l := maxLevel - 1; l >= 1; l-- {
 		cur := pred.next[l].Load()

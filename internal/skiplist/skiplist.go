@@ -339,23 +339,32 @@ func visibleAt(n *node, s core.TS) bool {
 // linearizable snapshot. The upper levels (untimestamped) only position
 // the query near lo; the walk itself follows bottom-level bundles.
 func (t *List) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
+	s := t.src.Peek()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps bundle entries labeled at or below s from being truncated before
+// the announcement lands here.
+func (t *List) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
 	if lo == 0 {
 		lo = 1
 	}
 	if hi > MaxKey {
 		hi = MaxKey
 	}
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Peek()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
 
 	// Position via the current index, then verify the landing point was
 	// part of the snapshot; if not (inserted or deleted around s), fall
 	// back to the head, which is in every snapshot.
-	mark = tr.Now()
+	mark := tr.Now()
 	pred := t.head
 	for l := maxLevel - 1; l >= 0; l-- {
 		cur := pred.next[l].Load()

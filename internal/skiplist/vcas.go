@@ -295,22 +295,31 @@ func (t *VcasList) maybeTruncate(n *vskipNode, key uint64) {
 // RangeQuery appends every pair in [lo,hi] as of one snapshot (vCAS
 // style: the query advances the camera).
 func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	th.BeginRQ()
+	tr := t.tr
+	mark := tr.Now()
+	s := t.src.Snapshot()
+	tr.Span(th.ID, trace.PhaseTimestamp, mark)
+	return t.RangeQueryAt(th, lo, hi, s, out)
+}
+
+// RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
+// caller must have called th.BeginRQ before obtaining s; the reservation
+// keeps versions labeled at or below s from being truncated before the
+// announcement lands here.
+func (t *VcasList) RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV {
 	if lo == 0 {
 		lo = 1
 	}
 	if hi > MaxKey {
 		hi = MaxKey
 	}
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Snapshot()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
 	th.AnnounceRQ(s)
 
 	// Position via the raw index; verify the landing point belongs to
 	// the snapshot, else fall back to the head.
-	mark = tr.Now()
+	mark := tr.Now()
 	var walk uint64
 	pred := t.head
 	for l := maxLevel - 1; l >= 1; l-- {

@@ -78,3 +78,59 @@ func TestLinearizability(t *testing.T) {
 		})
 	}
 }
+
+// TestLinearizabilitySharded runs the same matrix through the sharded
+// front end at shard counts 2 and 4: the cross-shard snapshot protocol
+// (reserve every overlapping shard, one shared timestamp, per-shard
+// collection at it) must admit a sequential witness under the same
+// adversarial schedules as the single structures.
+func TestLinearizabilitySharded(t *testing.T) {
+	triples := linMatrix()
+	if len(triples) == 0 {
+		t.Fatal("matrix is empty")
+	}
+	for _, shards := range []int{2, 4} {
+		for _, tr := range triples {
+			shards, tr := shards, tr
+			name := fmt.Sprintf("%v-%v-%v-s%d", tr.S, tr.T, tr.Src, shards)
+			name = strings.ReplaceAll(name, " ", "_")
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				cfg := linearize.Config{Seed: *linSeed, Workers: 4, Ops: 1500}
+				if testing.Short() {
+					cfg.Ops = 300
+				}
+				if tr.S == tscds.LazyList {
+					cfg.Ops /= 2 // O(n) traversals
+				}
+				m, err := tscds.NewSharded(tr.S, tr.T, shards, tscds.Config{
+					Source:     tr.Src,
+					MaxThreads: cfg.Workers + 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := linearize.RunAndCheck(m, cfg)
+				if err != nil {
+					t.Fatalf("%v\nreproduce: go test -race -run 'TestLinearizabilitySharded/%s' . -linearize.seed=%d",
+						err, name, cfg.Seed)
+				}
+				t.Logf("%s", h.Summary())
+			})
+		}
+	}
+}
+
+// TestLinearizabilityShardedCatchesFaults proves the checker retains its
+// teeth through the sharded front end: with fault injection corrupting
+// recorded range results, the harness must report a violation.
+func TestLinearizabilityShardedCatchesFaults(t *testing.T) {
+	m, err := tscds.NewSharded(tscds.BST, tscds.VCAS, 4, tscds.Config{Source: tscds.Logical, MaxThreads: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := linearize.Config{Seed: *linSeed, Workers: 4, Ops: 400, FaultRate: 0.2}
+	if _, err := linearize.RunAndCheck(m, cfg); err == nil {
+		t.Fatal("checker accepted a fault-injected sharded history")
+	}
+}

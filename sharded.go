@@ -1,0 +1,279 @@
+package tscds
+
+import (
+	"fmt"
+
+	"tscds/internal/core"
+	"tscds/internal/ebrrq"
+	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
+)
+
+// This file implements ShardedMap: a key-space-partitioned front end
+// composing S per-shard structures (any structure/technique pair New
+// accepts) behind ONE shared timestamp source. Point operations touch
+// only the owning shard — S independent structures mean S-way less
+// structural contention — while range queries stay linearizable across
+// shards by obtaining a single timestamp and collecting every
+// overlapping shard at that instant:
+//
+//  1. Reserve an announcement slot (BeginRQ) on every overlapping
+//     shard. The ReservedRQ sentinel pins each shard's MinActiveRQ at
+//     zero, so no shard can prune state the eventual bound could need.
+//  2. Lock-based EBR-RQ only: exclusively acquire every overlapping
+//     shard's provider lock, in ascending shard order (concurrent
+//     fan-outs order locks identically, so they cannot deadlock). This
+//     waits out every in-flight (read timestamp, write label) pair on
+//     those shards.
+//  3. Read the shared source once. Because the source is shared, this
+//     one value bounds all shards: any update that linearizes after
+//     this instant — on any shard — labels with a strictly greater
+//     timestamp (up to the §III-A hardware-tie corner the paper
+//     already accepts for TSC).
+//  4. Release the provider locks and run each shard's RangeQueryAt
+//     collection at the common bound.
+//
+// Steps 1–3 are the per-structure RangeQuery prologue hoisted out of
+// the structure and fanned across shards; RangeQueryAt is the
+// remainder. The argument that (bound, collection) is a linearizable
+// snapshot is therefore the same per shard as in the unsharded
+// structure, and the shared bound makes the union of the per-shard
+// snapshots a snapshot of the whole map at that instant.
+//
+// The cost is that every range query re-serializes on the shared
+// source: with a Logical source, sharding point updates S ways still
+// funnels all range queries (and, for vCAS, all update labelings)
+// through one fetch-and-add cache line, so range-heavy workloads
+// flatten as S grows. A hardware (TSC) source has no shared line to
+// contend on, so sharded TSC keeps scaling — the re-serialization
+// cliff rqbench's "shard" figure reproduces.
+
+// rangeQueryAt is the collect-at-bound half of every structure's range
+// query, used by the cross-shard fan-out after it has obtained the
+// common snapshot bound.
+type rangeQueryAt interface {
+	RangeQueryAt(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) []core.KV
+}
+
+// provided is implemented by the EBR-RQ structures, whose labeling
+// discipline the fan-out must coordinate with (step 2 above).
+type provided interface {
+	Provider() *ebrrq.Provider
+}
+
+// ShardedMap is a Map partitioned across independent per-shard
+// structures behind one shared timestamp source; see NewSharded.
+type ShardedMap struct {
+	wrap
+	n int
+}
+
+var _ Map = (*ShardedMap)(nil)
+
+// Shards reports the shard count.
+func (m *ShardedMap) Shards() int { return m.n }
+
+// NewSharded builds a Map whose key space is partitioned across shards
+// independent copies of the (s, t) structure, all labeled from one
+// shared timestamp source of cfg.Source's kind. Keys map to shards by
+// residue (internal key mod shards), which load-balances dense and
+// uniform key sets alike. Point operations touch only the owning
+// shard; RangeQuery and Scan remain linearizable across shards (one
+// timestamp, every overlapping shard collected at it). shards < 1 is
+// treated as 1. Combination rules are exactly New's.
+//
+// cfg.MaxThreads bounds handles per shard as in New; each RegisterThread
+// call claims one slot in every shard. cfg.Metrics additionally gets
+// per-shard routing counts (Snapshot.Shards). cfg.Trace records the
+// fan-out coordination cost as the "shard-fanout" phase; per-shard
+// phase detail is not recorded (the recorder's rings are single-writer
+// per thread, which per-shard handles do not guarantee).
+func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	reg := core.NewShardedRegistry(shards, cfg.MaxThreads)
+	src := core.New(cfg.Source)
+	if cfg.Metrics != nil {
+		cfg.Metrics.SetSourceKind(cfg.Source.String())
+		cfg.Metrics.EnsureShards(shards)
+		src = core.InstrumentSource(src, &cfg.Metrics.Source)
+	}
+	sh := &shardedInner{
+		src:    src,
+		peek:   t == Bundle,
+		inners: make([]inner, shards),
+		ats:    make([]rangeQueryAt, shards),
+	}
+	if t == EBRRQ || t == EBRRQLockFree {
+		sh.provs = make([]*ebrrq.Provider, shards)
+	}
+	if cfg.Metrics != nil {
+		sh.stats = make([]*obs.ShardStats, shards)
+		for i := range sh.stats {
+			sh.stats[i] = cfg.Metrics.Shard(i)
+		}
+	}
+	var shift uint64
+	for i := 0; i < shards; i++ {
+		m, ks, err := buildInner(s, t, cfg.Source, src, reg.Shard(i))
+		if err != nil {
+			return nil, err
+		}
+		shift = ks
+		sh.inners[i] = m
+		at, ok := m.(rangeQueryAt)
+		if !ok {
+			return nil, fmt.Errorf("tscds: %v/%v does not support sharding", s, t)
+		}
+		sh.ats[i] = at
+		if sh.provs != nil {
+			sh.provs[i] = m.(provided).Provider()
+		}
+		if cfg.Metrics != nil {
+			if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
+				g.SetGC(&cfg.Metrics.GC)
+			}
+		}
+	}
+	var tr *trace.Recorder
+	if cfg.Trace != nil {
+		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
+	}
+	sh.tr = tr
+	return &ShardedMap{
+		wrap: wrap{m: sh, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr},
+		n:    shards,
+	}, nil
+}
+
+// shardedInner composes the per-shard structures behind the facade's
+// inner surface. Keys arriving here are internal (post-shift) keys;
+// the partition is by internal-key residue, which is as consistent a
+// partition as any (the facade's shift is a constant).
+type shardedInner struct {
+	inners []inner
+	ats    []rangeQueryAt    // inners, pre-asserted for the fan-out
+	provs  []*ebrrq.Provider // per-shard providers; nil unless EBR-RQ
+	stats  []*obs.ShardStats // per-shard routing counts; nil without metrics
+	src    core.Source       // the one shared source
+	peek   bool              // bound via Peek (bundles) rather than Snapshot
+	tr     *trace.Recorder   // fan-out spans only; never forwarded to shards
+}
+
+func (sh *shardedInner) shard(key uint64) int { return int(key % uint64(len(sh.inners))) }
+
+func (sh *shardedInner) Insert(th *core.Thread, key, val uint64) bool {
+	i := sh.shard(key)
+	if sh.stats != nil {
+		sh.stats[i].Ops.Inc()
+	}
+	return sh.inners[i].Insert(th.Shard(i), key, val)
+}
+
+func (sh *shardedInner) Delete(th *core.Thread, key uint64) bool {
+	i := sh.shard(key)
+	if sh.stats != nil {
+		sh.stats[i].Ops.Inc()
+	}
+	return sh.inners[i].Delete(th.Shard(i), key)
+}
+
+func (sh *shardedInner) Contains(th *core.Thread, key uint64) bool {
+	i := sh.shard(key)
+	if sh.stats != nil {
+		sh.stats[i].Ops.Inc()
+	}
+	return sh.inners[i].Contains(th.Shard(i), key)
+}
+
+func (sh *shardedInner) Get(th *core.Thread, key uint64) (uint64, bool) {
+	i := sh.shard(key)
+	if sh.stats != nil {
+		sh.stats[i].Ops.Inc()
+	}
+	return sh.inners[i].Get(th.Shard(i), key)
+}
+
+// RangeQuery collects [lo, hi] across every overlapping shard at one
+// shared-source instant; see the file comment for the protocol and its
+// linearizability argument.
+func (sh *shardedInner) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
+	n := len(sh.inners)
+	if n == 1 {
+		if sh.stats != nil {
+			sh.stats[0].RQs.Inc()
+		}
+		return sh.inners[0].RangeQuery(th.Shard(0), lo, hi, out)
+	}
+	// Shard i holds a key in [lo, hi] iff the interval covers a full
+	// residue cycle, or i's residue distance from lo's shard is within
+	// the interval's width.
+	all := hi-lo >= uint64(n-1)
+	first := lo % uint64(n)
+	width := hi - lo
+	hit := func(i int) bool {
+		return all || (uint64(i)+uint64(n)-first)%uint64(n) <= width
+	}
+
+	tr := sh.tr
+	var mark uint64
+	if tr != nil {
+		mark = tr.Now()
+	}
+	for i := 0; i < n; i++ {
+		if hit(i) {
+			th.Shard(i).BeginRQ()
+		}
+	}
+	var s core.TS
+	switch {
+	case sh.provs != nil:
+		for i := 0; i < n; i++ {
+			if hit(i) {
+				sh.provs[i].RQLock()
+			}
+		}
+		s = sh.src.Snapshot()
+		for i := 0; i < n; i++ {
+			if hit(i) {
+				sh.provs[i].RQUnlock()
+			}
+		}
+	case sh.peek:
+		s = sh.src.Peek()
+	default:
+		s = sh.src.Snapshot()
+	}
+	if tr != nil {
+		tr.Span(th.ID, trace.PhaseShardFanout, mark)
+	}
+	for i := 0; i < n; i++ {
+		if !hit(i) {
+			continue
+		}
+		out = sh.ats[i].RangeQueryAt(th.Shard(i), lo, hi, s, out)
+		if sh.stats != nil {
+			sh.stats[i].RQs.Inc()
+		}
+	}
+	return out
+}
+
+// Len sums the shards; quiescent use only, like the structures' own Len.
+func (sh *shardedInner) Len() int {
+	n := 0
+	for _, m := range sh.inners {
+		n += m.Len()
+	}
+	return n
+}
+
+// Drain forwards to every shard that retains reader memory.
+func (sh *shardedInner) Drain() {
+	for _, m := range sh.inners {
+		if d, ok := m.(interface{ Drain() }); ok {
+			d.Drain()
+		}
+	}
+}

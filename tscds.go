@@ -282,90 +282,98 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
+	m, shift, err := buildInner(s, t, cfg.Source, src, reg)
+	if err != nil {
+		return nil, err
+	}
 	var tr *trace.Recorder
 	if cfg.Trace != nil {
 		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
 	}
-	newWrap := func(m inner, shift uint64) Map {
-		w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr}
-		if cfg.Metrics != nil {
-			if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
-				g.SetGC(&cfg.Metrics.GC)
-			}
+	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr}
+	wireSinks(m, cfg.Metrics, tr)
+	return w, nil
+}
+
+// wireSinks attaches the metrics GC counters and the flight recorder to
+// an inner that supports them. Call before the structure sees traffic.
+func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder) {
+	if metrics != nil {
+		if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
+			g.SetGC(&metrics.GC)
 		}
-		if tr != nil {
-			if st, ok := m.(interface{ SetTrace(*trace.Recorder) }); ok {
-				st.SetTrace(tr)
-			}
+	}
+	if tr != nil {
+		if st, ok := m.(interface{ SetTrace(*trace.Recorder) }); ok {
+			st.SetTrace(tr)
 		}
-		return w
+	}
+}
+
+// buildInner constructs the internal structure for one (structure,
+// technique) pair over src and reg, returning the key shift the facade
+// must apply (structures whose head sentinel reserves key 0 shift user
+// keys up by one). kind is reported in errors only; src may wrap the
+// kind's source with instrumentation.
+func buildInner(s Structure, t Technique, kind SourceKind, src core.Source, reg *core.Registry) (inner, uint64, error) {
+	variant := ebrrq.LockBased
+	if t == EBRRQLockFree {
+		variant = ebrrq.LockFree
 	}
 	switch s {
 	case BST:
 		switch t {
 		case VCAS:
-			return newWrap(lfbst.New(src, reg), 0), nil
+			return lfbst.New(src, reg), 0, nil
 		case EBRRQ, EBRRQLockFree:
-			variant := ebrrq.LockBased
-			if t == EBRRQLockFree {
-				variant = ebrrq.LockFree
-			}
 			m, err := lfbst.NewEBR(src, reg, variant)
 			if err != nil {
-				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+				return nil, 0, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, kind, err)
 			}
-			return newWrap(m, 0), nil
+			return m, 0, nil
 		default:
-			return nil, fmt.Errorf("tscds: %v does not support %v", s, t)
+			return nil, 0, fmt.Errorf("tscds: %v does not support %v", s, t)
 		}
 	case Citrus:
 		switch t {
 		case VCAS:
-			return newWrap(citrus.NewVcas(src, reg), 0), nil
+			return citrus.NewVcas(src, reg), 0, nil
 		case Bundle:
-			return newWrap(citrus.NewBundle(src, reg), 0), nil
+			return citrus.NewBundle(src, reg), 0, nil
 		case EBRRQ, EBRRQLockFree:
-			variant := ebrrq.LockBased
-			if t == EBRRQLockFree {
-				variant = ebrrq.LockFree
-			}
 			m, err := citrus.NewEBR(src, reg, variant)
 			if err != nil {
-				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+				return nil, 0, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, kind, err)
 			}
-			return newWrap(m, 0), nil
+			return m, 0, nil
 		}
 	case SkipList:
 		switch t {
 		case Bundle:
-			return newWrap(skiplist.New(src, reg), 1), nil
+			return skiplist.New(src, reg), 1, nil
 		case VCAS:
-			return newWrap(skiplist.NewVcas(src, reg), 1), nil
+			return skiplist.NewVcas(src, reg), 1, nil
 		case EBRRQ, EBRRQLockFree:
-			variant := ebrrq.LockBased
-			if t == EBRRQLockFree {
-				variant = ebrrq.LockFree
-			}
 			m, err := skiplist.NewEBR(src, reg, variant)
 			if err != nil {
-				return nil, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, cfg.Source, err)
+				return nil, 0, fmt.Errorf("tscds: %v/%v with %v source: %w", s, t, kind, err)
 			}
-			return newWrap(m, 1), nil
+			return m, 1, nil
 		}
 	case LazyList:
 		switch t {
 		case VCAS:
-			return newWrap(lazylist.NewVcas(src, reg), 1), nil
+			return lazylist.NewVcas(src, reg), 1, nil
 		case Bundle:
-			return newWrap(lazylist.NewBundle(src, reg), 1), nil
+			return lazylist.NewBundle(src, reg), 1, nil
 		}
 	case NMBST:
 		if t != VCAS {
-			return nil, fmt.Errorf("tscds: %v supports only vCAS (got %v)", s, t)
+			return nil, 0, fmt.Errorf("tscds: %v supports only vCAS (got %v)", s, t)
 		}
-		return newWrap(lfbst.NewNM(src, reg), 0), nil
+		return lfbst.NewNM(src, reg), 0, nil
 	}
-	return nil, fmt.Errorf("tscds: unsupported combination %v/%v", s, t)
+	return nil, 0, fmt.Errorf("tscds: unsupported combination %v/%v", s, t)
 }
 
 // inner is the shared surface of the internal structures.
@@ -378,13 +386,21 @@ type inner interface {
 	Len() int
 }
 
+// registrar hands out Thread handles: *core.Registry for plain maps,
+// *core.ShardedRegistry for sharded ones (whose handles fan out to one
+// slot per shard).
+type registrar interface {
+	Register() (*core.Thread, error)
+	Cap() int
+}
+
 // wrap adapts an internal structure to Map. shift offsets keys upward
 // for structures that reserve key 0 as their head sentinel. obs and tr,
 // when non-nil, receive per-operation counts/latencies and flight-record
 // events; each public method pays only nil tests when they are unset.
 type wrap struct {
 	m     inner
-	reg   *core.Registry
+	reg   registrar
 	s     Structure
 	t     Technique
 	src   SourceKind
