@@ -143,6 +143,10 @@ func native(w io.Writer, d time.Duration, keyRange uint64, metrics, traceOn bool
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			if act := mp.SourceActual(); act != src {
+				fmt.Fprintf(os.Stderr, "warning: %s: source %v is served by %v on this host; the %v column measures %v\n",
+					c.label, src, act, src, act)
+			}
 			if err := bench.Prefill(mp, mp, wl.KeyRange); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

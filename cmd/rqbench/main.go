@@ -86,9 +86,27 @@ func newMapN(s tscds.Structure, t tscds.Technique, src tscds.SourceKind, shards 
 	if err != nil {
 		return nil, nil, err
 	}
+	warnSubstituted(m, src)
 	curMetrics.Store(cfg.Metrics)
 	curTracer.Store(m.Tracer())
 	return m, cfg.Metrics, nil
+}
+
+// warnSubstituted discloses a hardware source the host cannot actually
+// serve: numbers labeled e.g. "RDTSCP" would otherwise silently be
+// monotonic-clock numbers. Printed once per kind.
+var warnedKinds sync.Map
+
+func warnSubstituted(m tscds.Map, src tscds.SourceKind) {
+	if src == tscds.Adaptive {
+		return // differing by design: the adaptive figure reports actuals itself
+	}
+	if act := m.SourceActual(); act != src {
+		if _, dup := warnedKinds.LoadOrStore(src, true); !dup {
+			fmt.Fprintf(os.Stderr, "warning: source %v is served by %v on this host; arms labeled %v measure %v\n",
+				src, act, src, act)
+		}
+	}
 }
 
 // dumpMetrics prints a labeled snapshot (JSON plus the percentile
@@ -309,8 +327,134 @@ func runShardSweep(threads []int, wl bench.Workload, duration time.Duration, tri
 		"shards", shardCounts, results))
 }
 
+// adaptiveArmRecord is one BENCH_adaptive.json entry: an arm's
+// throughput next to the health monitor's switch telemetry, with the
+// requested and actually-serving source kinds disclosed side by side.
+type adaptiveArmRecord struct {
+	Label        string    `json:"label"`
+	Requested    string    `json:"requested_source"`
+	Actual       string    `json:"actual_source"`
+	Threads      []int     `json:"threads"`
+	Mops         []float64 `json:"mops"`
+	Switches     uint64    `json:"source_switches"`
+	Failbacks    uint64    `json:"source_failbacks"`
+	SwitchNSMean float64   `json:"switch_ns_mean,omitempty"`
+	SwitchNSLast uint64    `json:"switch_ns_last,omitempty"`
+	SwitchNSMax  uint64    `json:"switch_ns_max,omitempty"`
+	Injected     uint64    `json:"injected_faults,omitempty"`
+}
+
+// runAdaptiveFigure regenerates the adaptive-source arm: Logical, TSC
+// and Adaptive over the same structure and workload. The adaptive arm
+// runs with a health monitor into which a background injector feeds
+// periodic TSC backsteps, so the source actually exercises its
+// failover/failback machinery mid-measurement; the cost of each
+// generation switch (and how many happened) lands in BENCH_adaptive.json
+// alongside the throughput it bought. The healthy-host reading: Adaptive
+// tracks the TSC column until the first injection, then pays the logical
+// counter's contention until failback.
+func runAdaptiveFigure(threads []int, wl bench.Workload, duration time.Duration, trials int, injectEvery time.Duration) {
+	results := map[string][]bench.Result{}
+	var records []adaptiveArmRecord
+	for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC, tscds.Adaptive} {
+		name := map[tscds.SourceKind]string{
+			tscds.Logical: "vCAS", tscds.TSC: "vCAS-RDTSCP", tscds.Adaptive: "vCAS-Adaptive",
+		}[src]
+		cfg := tscds.Config{Source: src, MaxThreads: 512}
+		if metricsOn {
+			cfg.Metrics = tscds.NewMetrics()
+		}
+		var health *tscds.TSCHealth
+		if src == tscds.Adaptive {
+			health = tscds.NewTSCHealth(512)
+			cfg.Health = health
+		}
+		m, err := tscds.New(tscds.BST, tscds.VCAS, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		warnSubstituted(m, src)
+		curMetrics.Store(cfg.Metrics)
+		curTracer.Store(m.Tracer())
+		if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var stopInject chan struct{}
+		var injectDone sync.WaitGroup
+		if health != nil && injectEvery > 0 {
+			stopInject = make(chan struct{})
+			injectDone.Add(1)
+			go func() {
+				defer injectDone.Done()
+				tick := time.NewTicker(injectEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopInject:
+						return
+					case <-tick.C:
+						health.InjectBackstep(uint64(time.Hour))
+					}
+				}
+			}()
+		}
+		rec := adaptiveArmRecord{Label: name, Requested: src.String()}
+		for _, n := range threads {
+			res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
+				Threads: n, Duration: duration, Trials: trials, Pin: true, Seed: 7,
+			}, arm{name, tscds.BST, tscds.VCAS}, src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			results[name] = append(results[name], res)
+			rec.Threads = append(rec.Threads, n)
+			rec.Mops = append(rec.Mops, res.Mean)
+		}
+		if stopInject != nil {
+			close(stopInject)
+			injectDone.Wait()
+		}
+		rec.Actual = m.SourceActual().String()
+		if cfg.Metrics != nil {
+			cfg.Metrics.SetSourceActual(rec.Actual)
+		}
+		if health != nil {
+			hs := health.Snapshot()
+			rec.Switches = hs.SourceSwitches
+			rec.Failbacks = hs.SourceFailbacks
+			rec.Injected = hs.InjectedFaults
+			if n := hs.SourceSwitches + hs.SourceFailbacks; n > 0 {
+				rec.SwitchNSMean = float64(hs.SwitchTotalNS) / float64(n)
+			}
+			rec.SwitchNSLast = hs.LastSwitchNS
+			rec.SwitchNSMax = hs.MaxSwitchNS
+			fmt.Printf("adaptive arm: %d switches, %d failbacks, mean switch %.0fns (last %dns, max %dns), final source %s\n",
+				rec.Switches, rec.Failbacks, rec.SwitchNSMean, rec.SwitchNSLast, rec.SwitchNSMax, rec.Actual)
+		}
+		records = append(records, rec)
+		dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), cfg.Metrics)
+		dumpTrace(fmt.Sprintf("%s %s", name, wl.Label()), m)
+	}
+	fmt.Println(bench.Table(
+		fmt.Sprintf("Figure adaptive (failover cost), workload %s, native (%d trials x %v, backstep every %v)",
+			wl.Label(), trials, duration, injectEvery),
+		threads, results))
+	b, err := json.MarshalIndent(records, "", " ")
+	if err == nil {
+		err = os.WriteFile("BENCH_adaptive.json", append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_adaptive.json: %v\n", err)
+		return
+	}
+	fmt.Printf("adaptive: wrote %d arm records to BENCH_adaptive.json\n", len(records))
+}
+
 func main() {
-	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard")
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive")
 	mode := flag.String("mode", "native", "native or sim")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
@@ -326,6 +470,7 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", 0, "native: with -metrics, sample snapshots at this interval into BENCH_metrics.json")
 	serveAddr := flag.String("serve", "", "native: serve live /metrics, /trace and /tschealth on this address (e.g. :8080)")
 	shardsFlag := flag.Int("shards", 1, "native: partition each map across this many shards (figure 'shard' sweeps 1,2,4,8 itself)")
+	injectEvery := flag.Duration("inject-every", 100*time.Millisecond, "figure adaptive: TSC-backstep injection period (0 disables)")
 	flag.Parse()
 	metricsOn = *metrics
 	traceOn = *traceFlag
@@ -368,6 +513,26 @@ func main() {
 			os.Exit(1)
 		}
 		figuresOverride = &f2
+	}
+
+	if *custom == "" && *fig == "adaptive" {
+		if *mode == "sim" {
+			fmt.Fprintln(os.Stderr, "figure adaptive runs natively only")
+			os.Exit(1)
+		}
+		threads, err := bench.ParseThreads(*threadsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wl := bench.PaperWorkload(10, 10, 80)
+		wl.KeyRange = *keyRange
+		wl.ZipfS = *zipf
+		runAdaptiveFigure(threads, wl, *duration, *trials, *injectEvery)
+		if tscHealth != nil {
+			fmt.Printf("tschealth %s\n", tscHealth.String())
+		}
+		return
 	}
 
 	if *custom == "" && *fig == "shard" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"time"
 )
 
 // checkRangeAgainstModel compares one RangeQuery and one Scan of [lo,hi]
@@ -192,6 +193,97 @@ func FuzzShardedAgainstModel(f *testing.F) {
 		checkRangeAgainstModel(t, label+" final", m, th, model, 0, MaxKey)
 		if m.Len() != len(model) {
 			t.Fatalf("%s final: Len=%d model=%d", label, m.Len(), len(model))
+		}
+	})
+}
+
+// FuzzAdaptiveSwitch drives an Adaptive-source map against the model
+// while injecting TSC backsteps at tape-chosen points: the first byte
+// picks the (structure, technique) pair, and bit 7 of each op byte
+// injects a backstep into the health monitor immediately before the op,
+// forcing a hardware→logical generation switch (and, after enough quiet
+// operations, possibly a failback). Every range query after a switch is
+// compared key for key against the model, so a snapshot torn across a
+// generation boundary cannot pass.
+func FuzzAdaptiveSwitch(f *testing.F) {
+	f.Add([]byte{0, 0x80, 1, 0, 2, 2, 1, 0x81, 1, 3, 0})
+	f.Add([]byte{5, 0, 9, 0x83, 7, 1, 9, 0x80, 3, 0})
+	seq := []byte{2}
+	for i := 0; i < 64; i++ {
+		b := byte(i % 4)
+		if i%9 == 0 {
+			b |= 0x80 // periodic backsteps through the tape
+		}
+		seq = append(seq, b, byte(i*7))
+	}
+	f.Add(seq)
+
+	combos := allCombos()
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) < 1 {
+			return
+		}
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		c := combos[int(tape[0])%len(combos)]
+		tape = tape[1:]
+		label := fmt.Sprintf("%v/%v/adaptive", c.S, c.T)
+
+		health := NewTSCHealth(2)
+		m, err := New(c.S, c.T, Config{Source: Adaptive, Health: health, MaxThreads: 2})
+		if err != nil {
+			if c.T == EBRRQLockFree {
+				return // requires an addressable source; Adaptive is not
+			}
+			t.Fatal(err)
+		}
+		th, err := m.RegisterThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Release()
+		model := map[uint64]uint64{}
+		injected := 0
+		for i := 0; i+1 < len(tape); i += 2 {
+			if tape[i]&0x80 != 0 {
+				health.InjectBackstep(uint64(time.Hour))
+				injected++
+			}
+			op := tape[i] % 4
+			key := uint64(tape[i+1])
+			switch op {
+			case 0:
+				_, exists := model[key]
+				if got := m.Insert(th, key, key*3); got == exists {
+					t.Fatalf("%s op %d: Insert(%d)=%v exists=%v", label, i, key, got, exists)
+				}
+				if !exists {
+					model[key] = key * 3
+				}
+			case 1:
+				_, exists := model[key]
+				if got := m.Delete(th, key); got != exists {
+					t.Fatalf("%s op %d: Delete(%d)=%v exists=%v", label, i, key, got, exists)
+				}
+				delete(model, key)
+			case 2:
+				_, exists := model[key]
+				if got := m.Contains(th, key); got != exists {
+					t.Fatalf("%s op %d: Contains(%d)=%v want %v", label, i, key, got, exists)
+				}
+			default:
+				checkRangeAgainstModel(t, fmt.Sprintf("%s op %d", label, i), m, th, model, key, key+16)
+			}
+		}
+		checkRangeAgainstModel(t, label+" final", m, th, model, 0, MaxKey)
+		if m.Len() != len(model) {
+			t.Fatalf("%s final: Len=%d model=%d", label, m.Len(), len(model))
+		}
+		if injected > 0 {
+			if hs := health.Snapshot(); hs.SourceSwitches < 1 {
+				t.Fatalf("%s: %d backsteps injected but no generation switch recorded", label, injected)
+			}
 		}
 	})
 }

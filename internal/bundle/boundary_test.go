@@ -1,0 +1,54 @@
+package bundle
+
+import "testing"
+
+// Boundary tie-break regression: a hardware Source.Snapshot can return a
+// value EQUAL to a concurrent update's label (unlike LogicalSource, whose
+// pre-increment Snapshot makes later labels strictly newer). The pinned
+// rule, asserted here so no future edit flips the inequality in PtrAtWalk:
+// the newest entry labeled ts <= s — including ts == s exactly — is the
+// link target at bound s; a tie linearizes the update before the query.
+func TestPtrAtBoundaryTieBreak(t *testing.T) {
+	n0, n5, n10 := new(int), new(int), new(int)
+	b := New(n0) // Init labels 0
+	b.Finalize(b.Prepare(n5), 5)
+	b.Finalize(b.Prepare(n10), 10)
+
+	cases := []struct {
+		s    uint64
+		want *int
+	}{
+		{0, n0},
+		{4, n0},
+		{5, n5}, // bound ties the label: entry included
+		{6, n5},
+		{9, n5},
+		{10, n10}, // ties again at the newest entry
+		{11, n10},
+	}
+	for _, c := range cases {
+		got, ok := b.PtrAt(c.s)
+		if !ok || got != c.want {
+			t.Errorf("PtrAt(%d) = (%p,%v), want %p", c.s, got, ok, c.want)
+		}
+	}
+}
+
+// Truncate must keep the entry labeled exactly at the minimum active
+// bound — it is the target a snapshot at that bound follows.
+func TestTruncateBoundaryKeepsTiedEntry(t *testing.T) {
+	n0, n5, n10 := new(int), new(int), new(int)
+	b := New(n0)
+	b.Finalize(b.Prepare(n5), 5)
+	b.Finalize(b.Prepare(n10), 10)
+
+	if dropped := b.Truncate(5); dropped != 1 {
+		t.Fatalf("Truncate(5) dropped %d entries, want 1 (only the label-0 entry)", dropped)
+	}
+	if got, ok := b.PtrAt(5); !ok || got != n5 {
+		t.Fatalf("after Truncate(5), PtrAt(5) = (%p,%v), want tied entry %p", got, ok, n5)
+	}
+	if n := b.Len(); n != 2 {
+		t.Fatalf("entries after boundary truncate = %d, want 2", n)
+	}
+}

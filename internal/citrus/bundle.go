@@ -270,17 +270,29 @@ func (t *BundleTree) maybeTruncate(n *bnode, key uint64) {
 // workload shows no benefit from TSC — Figure 3a's flat pair of Bundle
 // curves — while update-heavy mixes do.
 func (t *BundleTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	var mark uint64
-	if tr != nil {
-		mark = tr.Now()
+	base := len(out)
+	for {
+		th.BeginRQ()
+		var mark uint64
+		if tr != nil {
+			mark = tr.Now()
+		}
+		s := t.src.Peek()
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		}
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		}
+		out = out[:base]
 	}
-	s := t.src.Peek()
-	if tr != nil {
-		tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	}
-	return t.RangeQueryAt(th, lo, hi, s, out)
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

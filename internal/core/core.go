@@ -53,6 +53,11 @@ const (
 	// Monotonic is the portable monotonic-clock source, used where TSC
 	// is unavailable (non-amd64, or non-invariant TSC).
 	Monotonic
+	// Adaptive starts on fenced RDTSCP and fails over to the shared
+	// logical counter when tsc.Health reports the hardware degraded,
+	// encoding a source generation in each timestamp's high bits (see
+	// AdaptiveSource).
+	Adaptive
 )
 
 // String returns the series label used in benchmark output, matching the
@@ -71,6 +76,8 @@ func (k Kind) String() string {
 		return "RDTSC-nofence"
 	case Monotonic:
 		return "Monotonic"
+	case Adaptive:
+		return "Adaptive"
 	}
 	return "Unknown"
 }
@@ -104,17 +111,48 @@ type Source interface {
 	Kind() Kind
 }
 
-// AdvanceStrict returns a timestamp strictly greater than prev, spinning
-// until the source moves past it. This is the Jiffy-style tie-avoidance
-// discussed in §III-A: TSC is monotonic but not strictly increasing, so
-// algorithms that require unique versions wait out ties. The wait is
-// bounded by one counter increment (a clock cycle for TSC); for a logical
-// source Advance already guarantees strict increase so no spin occurs.
+// StallObserver is implemented by sources (or wrappers) that want to
+// hear when AdvanceStrict exhausted its spin budget against them — the
+// signature of a frozen or severely degraded counter. AdaptiveSource
+// reports the stall to its Health monitor (triggering failover);
+// instrumented sources count it.
+type StallObserver interface {
+	NoteSourceStall(prev TS)
+}
+
+// advanceStrictSpinBudget bounds the AdvanceStrict spin. A healthy
+// source moves within a handful of reads (one counter increment — a
+// clock cycle for TSC); a million reads without progress means the
+// counter is frozen, and spinning further would hang the caller on
+// exactly the hardware fault the health monitor exists to catch.
+const advanceStrictSpinBudget = 1 << 20
+
+// AdvanceStrict returns a timestamp strictly greater than prev. This is
+// the Jiffy-style tie-avoidance discussed in §III-A: TSC is monotonic
+// but not strictly increasing, so algorithms that require unique
+// versions wait out ties. On a healthy source the wait is bounded by
+// one counter increment (a clock cycle for TSC); for a logical source
+// Advance already guarantees strict increase so no spin occurs.
+//
+// Against a stalled source the spin is bounded: after the budget is
+// exhausted the stall is reported via StallObserver (if implemented)
+// and prev+1 is returned. The fabricated label is strictly above prev
+// but ahead of the frozen counter, so it stays invisible to snapshots
+// until the counter catches up — a bounded-staleness degradation,
+// instead of the unbounded hang a frozen counter used to cause here.
 func AdvanceStrict(s Source, prev TS) TS {
-	for {
+	for i := 0; i < advanceStrictSpinBudget; i++ {
 		t := s.Advance()
 		if t > prev {
 			return t
 		}
 	}
+	if o, ok := s.(StallObserver); ok {
+		o.NoteSourceStall(prev)
+	}
+	t := prev + 1
+	if t > MaxTS {
+		t = MaxTS
+	}
+	return t
 }

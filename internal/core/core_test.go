@@ -14,6 +14,7 @@ func TestKindString(t *testing.T) {
 		TSCCPUID:    "RDTSC-CPUID",
 		TSCRaw:      "RDTSC-nofence",
 		Monotonic:   "Monotonic",
+		Adaptive:    "Adaptive",
 		Kind(99):    "Unknown",
 	}
 	for k, want := range cases {
@@ -82,7 +83,7 @@ func TestLogicalSourceConcurrentUnique(t *testing.T) {
 }
 
 func TestAllKindsConstructAndAdvance(t *testing.T) {
-	for _, k := range []Kind{Logical, TSC, TSCUnfenced, TSCCPUID, TSCRaw, Monotonic} {
+	for _, k := range []Kind{Logical, TSC, TSCUnfenced, TSCCPUID, TSCRaw, Monotonic, Adaptive} {
 		s := New(k)
 		if s.Kind() != k {
 			t.Errorf("New(%v).Kind() = %v", k, s.Kind())

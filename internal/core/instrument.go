@@ -15,11 +15,16 @@ import (
 // The wrapper preserves Addressable, so an instrumented logical source
 // remains usable by lock-free EBR-RQ's DCSS. (DCSS traffic goes straight
 // to the counter's address and is intentionally not counted: it is the
-// algorithm's validation read, not a timestamp acquisition.)
+// algorithm's validation read, not a timestamp acquisition.) It likewise
+// preserves Generational, so range queries validating their snapshot
+// bound against the source generation see through the wrapper.
 func InstrumentSource(src Source, st *obs.SourceStats) Source {
 	is := instrumentedSource{inner: src, st: st}
 	if a, ok := src.(Addressable); ok {
 		return &instrumentedAddressable{instrumentedSource: is, addr: a}
+	}
+	if g, ok := src.(Generational); ok {
+		return &instrumentedGenerational{instrumentedSource: is, gen: g}
 	}
 	return &is
 }
@@ -46,9 +51,37 @@ func (s *instrumentedSource) Snapshot() TS {
 
 func (s *instrumentedSource) Kind() Kind { return s.inner.Kind() }
 
+// Actual discloses the inner source's actual kind (see Actual).
+func (s *instrumentedSource) Actual() Kind { return Actual(s.inner) }
+
+// NoteSourceStall counts the stall and forwards it to the inner source
+// (an AdaptiveSource turns it into a Health fault).
+func (s *instrumentedSource) NoteSourceStall(prev TS) {
+	s.st.Stalls.Inc()
+	if o, ok := s.inner.(StallObserver); ok {
+		o.NoteSourceStall(prev)
+	}
+}
+
+// NoteSnapshotRetry counts a range query discarded and re-run because
+// the source switched generations under it (see SnapshotValid).
+func (s *instrumentedSource) NoteSnapshotRetry() {
+	s.st.SnapshotRetries.Inc()
+	if o, ok := s.inner.(retryObserver); ok {
+		o.NoteSnapshotRetry()
+	}
+}
+
 type instrumentedAddressable struct {
 	instrumentedSource
 	addr Addressable
 }
 
 func (s *instrumentedAddressable) Addr() *atomic.Uint64 { return s.addr.Addr() }
+
+type instrumentedGenerational struct {
+	instrumentedSource
+	gen Generational
+}
+
+func (s *instrumentedGenerational) Generation() uint64 { return s.gen.Generation() }

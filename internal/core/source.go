@@ -60,9 +60,64 @@ func (s *hwSource) Peek() TS     { return s.read() }
 func (s *hwSource) Snapshot() TS { return s.read() }
 func (s *hwSource) Kind() Kind   { return s.kind }
 
-// New returns a Source of the requested kind. Hardware kinds silently use
-// the monotonic fallback when the host lacks the needed instructions (the
-// tsc package handles that), so callers can always construct any kind.
+// Actual reports what s.read actually hits on this host, which is not
+// necessarily s.kind: the tsc package degrades unavailable instruction
+// sequences to the closest available read (ultimately the monotonic
+// clock). See Actual.
+func (s *hwSource) Actual() Kind { return actualFor(s.kind) }
+
+// actualFor maps a requested hardware kind to the kind whose semantics
+// the tsc accessors really deliver on this host. Mirrors the fallback
+// chains in tsc's per-arch files.
+func actualFor(k Kind) Kind {
+	switch k {
+	case TSC:
+		// ReadFenced needs RDTSCP; without it the accessor serves the
+		// monotonic clock.
+		if !tsc.Supported() {
+			return Monotonic
+		}
+	case TSCUnfenced:
+		// ReadP degrades to bare RDTSC without RDTSCP, and to the
+		// monotonic clock without any counter.
+		if !tsc.HasCounter() {
+			return Monotonic
+		}
+		if !tsc.Supported() {
+			return TSCRaw
+		}
+	case TSCCPUID, TSCRaw:
+		// Real whenever the architecture has a counter at all.
+		if !tsc.HasCounter() {
+			return Monotonic
+		}
+	}
+	return k
+}
+
+// actualReporter is implemented by sources that can disclose the kind
+// actually serving reads (hwSource, AdaptiveSource, and the
+// instrumentation wrappers).
+type actualReporter interface{ Actual() Kind }
+
+// Actual reports the kind actually serving s's reads. For hardware
+// kinds on hosts missing the needed instructions this differs from
+// s.Kind() — the silent-fallback case that used to mislabel monotonic
+// numbers as RDTSCP in benchmark output. Sources that cannot introspect
+// are taken at their word.
+func Actual(s Source) Kind {
+	if a, ok := s.(actualReporter); ok {
+		return a.Actual()
+	}
+	return s.Kind()
+}
+
+// New returns a Source of the requested kind. Hardware kinds use the
+// monotonic fallback when the host lacks the needed instructions (the
+// tsc package handles that), so callers can always construct any kind —
+// but the substitution is disclosed via Actual, never silent.
+// New(Adaptive) builds an AdaptiveSource with no health monitor (it
+// stays on hardware); use NewAdaptive to wire one.
 func New(k Kind) Source {
 	switch k {
 	case Logical:
@@ -77,6 +132,8 @@ func New(k Kind) Source {
 		return &hwSource{kind: k, read: tsc.Read}
 	case Monotonic:
 		return &hwSource{kind: k, read: tsc.Monotonic}
+	case Adaptive:
+		return NewAdaptive(AdaptiveConfig{})
 	}
 	panic("core: unknown source kind")
 }

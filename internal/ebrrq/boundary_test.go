@@ -1,0 +1,40 @@
+package ebrrq
+
+import (
+	"testing"
+
+	"tscds/internal/core"
+)
+
+// Boundary tie-break regression for EBR-RQ visibility. A hardware
+// Source.Snapshot can return a value EQUAL to a concurrent operation's
+// label (unlike LogicalSource, whose pre-increment Snapshot guarantees
+// strictly newer labels), so the <=/> choices in VisibleAt are
+// load-bearing: an insert labeled exactly s IS in the snapshot at s,
+// and a delete labeled exactly s REMOVES the node from the snapshot at
+// s — a tie always linearizes the update before the query. This table
+// pins those inequalities so a future edit cannot silently flip one.
+func TestVisibleAtBoundaryTieBreak(t *testing.T) {
+	const s = core.TS(5)
+	cases := []struct {
+		name         string
+		itime, dtime core.TS
+		want         bool
+	}{
+		{"insert before bound, alive", 4, core.Pending, true},
+		{"insert ties bound, alive", 5, core.Pending, true},
+		{"insert after bound", 6, core.Pending, false},
+		{"insert pending (linearizes after s)", core.Pending, core.Pending, false},
+		{"delete before bound", 4, 4, false},
+		{"delete ties bound", 5, 5, false},
+		{"delete just after bound", 5, 6, true},
+		{"delete pending (node alive at s)", 5, core.Pending, true},
+		{"insert and delete both tie", 5, 5, false},
+	}
+	for _, c := range cases {
+		if got := VisibleAt(c.itime, c.dtime, s); got != c.want {
+			t.Errorf("%s: VisibleAt(%d, %d, %d) = %v, want %v",
+				c.name, c.itime, c.dtime, s, got, c.want)
+		}
+	}
+}

@@ -207,12 +207,22 @@ func (t *BundleList) maybeTruncate(n *bnode, key uint64) {
 // exactly why the paper saw no TSC gain here — the O(n) walk dwarfs the
 // timestamp access.
 func (t *BundleList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Peek()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	return t.RangeQueryAt(th, lo, hi, s, out)
+	base := len(out)
+	for {
+		th.BeginRQ()
+		mark := tr.Now()
+		s := t.src.Peek()
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		out = out[:base]
+	}
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The
@@ -408,12 +418,22 @@ func (t *VcasList) maybeTruncate(n *vnode, key uint64) {
 // RangeQuery appends every pair in [lo,hi] as of one snapshot (vCAS
 // style: the query advances the camera).
 func (t *VcasList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Snapshot()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	return t.RangeQueryAt(th, lo, hi, s, out)
+	base := len(out)
+	for {
+		th.BeginRQ()
+		mark := tr.Now()
+		s := t.src.Snapshot()
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		out = out[:base]
+	}
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

@@ -370,19 +370,31 @@ func (t *EBRTree) casChild(parent, old, new *enode) bool {
 // linearizable snapshot: live leaves satisfying the visibility predicate
 // plus limbo leaves deleted after the snapshot bound.
 func (t *EBRTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	var mark uint64
-	if tr != nil {
-		mark = tr.Now()
+	base := len(out)
+	for {
+		th.BeginRQ()
+		var mark uint64
+		if tr != nil {
+			mark = tr.Now()
+		}
+		s := t.provider.Snapshot()
+		if tr != nil {
+			// Includes the exclusive lock acquisition the lock-based variant
+			// needs; the wait alone also lands in the shared lock-wait phase.
+			tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		}
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		}
+		out = out[:base]
 	}
-	s := t.provider.Snapshot()
-	if tr != nil {
-		// Includes the exclusive lock acquisition the lock-based variant
-		// needs; the wait alone also lands in the shared lock-wait phase.
-		tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	}
-	return t.RangeQueryAt(th, lo, hi, s, out)
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

@@ -340,17 +340,31 @@ func (t *Tree) maybeTruncate(n *node, key uint64) {
 // camera fetch-and-add that Figure 2 shows dominating at scale; with TSC
 // it is a fenced core-local read.
 func (t *Tree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	var mark uint64
-	if tr != nil {
-		mark = tr.Now()
+	base := len(out)
+	for {
+		th.BeginRQ()
+		var mark uint64
+		if tr != nil {
+			mark = tr.Now()
+		}
+		s := t.src.Snapshot()
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		}
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// The source switched generations under us: the bound orders
+		// correctly only against labels of its own generation, so the
+		// collected result could tear the snapshot. Discard and retry
+		// against a fresh bound.
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		}
+		out = out[:base]
 	}
-	s := t.src.Snapshot()
-	if tr != nil {
-		tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	}
-	return t.RangeQueryAt(th, lo, hi, s, out)
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided snapshot

@@ -294,17 +294,29 @@ func (t *NMTree) maybeTruncate(n *nmNode, key uint64) {
 // RangeQuery appends every pair with lo <= key <= hi as of one
 // linearizable snapshot, traversing edge versions and ignoring marks.
 func (t *NMTree) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	var mark uint64
-	if tr != nil {
-		mark = tr.Now()
+	base := len(out)
+	for {
+		th.BeginRQ()
+		var mark uint64
+		if tr != nil {
+			mark = tr.Now()
+		}
+		s := t.src.Snapshot()
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		}
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		}
+		out = out[:base]
 	}
-	s := t.src.Snapshot()
-	if tr != nil {
-		tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	}
-	return t.RangeQueryAt(th, lo, hi, s, out)
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

@@ -150,6 +150,12 @@ type Config struct {
 	// correct execution can produce. Zero (the default) in normal use;
 	// set to 1 to prove the checker detects broken snapshots.
 	FaultRate float64
+	// Midpoint, when set, is called once by worker 0 halfway through its
+	// operation sequence, while every other worker keeps running. It is
+	// the environment-fault hook: inject a TSC backstep here to force an
+	// Adaptive source to switch generations mid-history, so the checker
+	// validates range queries that span the switch.
+	Midpoint func()
 }
 
 // withDefaults fills unset fields.

@@ -247,6 +247,54 @@ func TestCheckRejectsTornCrossShardSnapshot(t *testing.T) {
 	}
 }
 
+// TestCheckRejectsTornSwitchSnapshot pins the failure the adaptive
+// source's generation validation (core.SnapshotValid + retry) exists to
+// prevent. When hardware timestamps backstep, a range query's bound can
+// end up numerically AHEAD of labels assigned to operations that
+// linearize after the query — so without revalidation, a collection
+// overlapping the fault window can stitch pre-switch absence together
+// with post-switch presence. The distilled history: k1's insert
+// completes (by 10) strictly before the query begins (20), and k2's
+// insert begins (40) strictly after the query returns (30) — yet the
+// "snapshot" misses k1 and contains k2. No single instant exhibits that
+// state, and the checker must reject it. This is the history shape a
+// range query that kept a stale pre-switch bound would record.
+func TestCheckRejectsTornSwitchSnapshot(t *testing.T) {
+	h := hist(
+		uev(OpInsert, 1, 100, 0, 10, true),
+		rqev(0, 10, 20, 30, tscds.KV{Key: 2, Val: 200}),
+		uev(OpInsert, 2, 200, 40, 50, true),
+	)
+	err := Check(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("torn pre/post-switch snapshot accepted: %v", err)
+	}
+}
+
+// The same torn shape must be rejected even when only ONE half of the
+// tear is present: observing the future insert alone, or missing the
+// certainly-present key alone.
+func TestCheckRejectsHalfTornSwitchSnapshot(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *History
+	}{
+		{"future-insert-observed", hist(
+			rqev(0, 10, 20, 30, tscds.KV{Key: 2, Val: 200}),
+			uev(OpInsert, 2, 200, 40, 50, true),
+		)},
+		{"settled-insert-missed", hist(
+			uev(OpInsert, 1, 100, 0, 10, true),
+			rqev(0, 10, 20, 30),
+		)},
+	}
+	for _, c := range cases {
+		if err := Check(c.h); !errors.Is(err, ErrNotLinearizable) {
+			t.Errorf("%s: accepted: %v", c.name, err)
+		}
+	}
+}
+
 func TestCleanRunPasses(t *testing.T) {
 	m, err := tscds.New(tscds.SkipList, tscds.Bundle, tscds.Config{Source: tscds.TSC, MaxThreads: 8})
 	if err != nil {

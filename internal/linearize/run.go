@@ -82,6 +82,9 @@ func Run(m tscds.Map, cfg Config) (*History, error) {
 			log := make([]Event, 0, cfg.Ops)
 			var seq uint64
 			for i := 0; i < cfg.Ops; i++ {
+				if cfg.Midpoint != nil && tid == 0 && i == cfg.Ops/2 {
+					cfg.Midpoint()
+				}
 				p := rng.Intn(100)
 				key := rng.Uint64() % cfg.KeyRange
 				var ev Event

@@ -228,16 +228,30 @@ type SourceStats struct {
 	Advances  Counter
 	Peeks     Counter
 	Snapshots Counter
+	// Stalls counts AdvanceStrict spin-budget exhaustions: the source
+	// refused to move past a prior timestamp within the budget (a frozen
+	// or severely degraded counter).
+	Stalls Counter
+	// SnapshotRetries counts range queries that discarded a collected
+	// snapshot because the adaptive source switched generations under
+	// them and re-ran against a fresh bound.
+	SnapshotRetries Counter
 }
 
 // SourceSnapshot is a point-in-time copy of SourceStats.
 type SourceSnapshot struct {
 	// Kind is the timestamp kind label ("Logical", "RDTSCP", ...), set by
 	// whoever wires the stats to a source.
-	Kind      string `json:"kind,omitempty"`
-	Advances  uint64 `json:"advances"`
-	Peeks     uint64 `json:"peeks"`
-	Snapshots uint64 `json:"snapshots"`
+	Kind string `json:"kind,omitempty"`
+	// Actual is the kind actually serving reads when it differs from the
+	// requested Kind — e.g. "Monotonic" when RDTSCP was requested on a
+	// host without it. Empty when the request is honored.
+	Actual          string `json:"actual,omitempty"`
+	Advances        uint64 `json:"advances"`
+	Peeks           uint64 `json:"peeks"`
+	Snapshots       uint64 `json:"snapshots"`
+	Stalls          uint64 `json:"stalls,omitempty"`
+	SnapshotRetries uint64 `json:"snapshot_retries,omitempty"`
 }
 
 // GC is the reclamation-reporting hook shared by every technique family:
@@ -303,6 +317,7 @@ type Registry struct {
 	Source   SourceStats
 	GC       GC
 	kind     atomic.Pointer[string]
+	actual   atomic.Pointer[string]
 	shards   atomic.Pointer[[]*ShardStats]
 	strCache atomic.Pointer[stringCache]
 }
@@ -321,6 +336,11 @@ func (r *Registry) ObserveOp(c OpClass, d time.Duration) {
 // SetSourceKind records the timestamp kind label reported in snapshots.
 // When several structures share one registry the last label wins.
 func (r *Registry) SetSourceKind(kind string) { r.kind.Store(&kind) }
+
+// SetSourceActual records the kind actually serving reads when it
+// differs from the requested kind (silent-fallback disclosure). Pass
+// the requested kind's label to clear.
+func (r *Registry) SetSourceActual(actual string) { r.actual.Store(&actual) }
 
 // EnsureShards sizes the per-shard stats table to at least n entries.
 // Call before the instrumented map sees traffic; existing entries (and
@@ -372,15 +392,20 @@ type Snapshot struct {
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Source: SourceSnapshot{
-			Advances:  r.Source.Advances.Load(),
-			Peeks:     r.Source.Peeks.Load(),
-			Snapshots: r.Source.Snapshots.Load(),
+			Advances:        r.Source.Advances.Load(),
+			Peeks:           r.Source.Peeks.Load(),
+			Snapshots:       r.Source.Snapshots.Load(),
+			Stalls:          r.Source.Stalls.Load(),
+			SnapshotRetries: r.Source.SnapshotRetries.Load(),
 		},
 		Ops: make(map[string]HistSnapshot, int(numOpClasses)),
 		GC:  r.GC.Snapshot(),
 	}
 	if k := r.kind.Load(); k != nil {
 		s.Source.Kind = *k
+	}
+	if a := r.actual.Load(); a != nil && (s.Source.Kind == "" || *a != s.Source.Kind) {
+		s.Source.Actual = *a
 	}
 	for c := OpClass(0); c < numOpClasses; c++ {
 		s.Ops[c.String()] = r.ops[c].Snapshot()
@@ -439,8 +464,16 @@ func (s Snapshot) Summary() string {
 			c.String(), op.Count, durNS(op.MeanNS), durNS(op.P50NS), durNS(op.P99NS), durNS(op.MaxNS))
 	}
 	if s.Source.Advances+s.Source.Peeks+s.Source.Snapshots > 0 {
+		label := s.Source.Kind
+		if s.Source.Actual != "" {
+			label += " (actual: " + s.Source.Actual + ")"
+		}
 		fmt.Fprintf(&b, "  source %s: %d advances, %d peeks, %d snapshots\n",
-			s.Source.Kind, s.Source.Advances, s.Source.Peeks, s.Source.Snapshots)
+			label, s.Source.Advances, s.Source.Peeks, s.Source.Snapshots)
+		if s.Source.Stalls+s.Source.SnapshotRetries > 0 {
+			fmt.Fprintf(&b, "  source faults: %d stalls, %d snapshot retries\n",
+				s.Source.Stalls, s.Source.SnapshotRetries)
+		}
 	}
 	if g := s.GC; g.BundleEntriesPruned+g.VcasVersionsPruned+g.LimboRetired > 0 {
 		fmt.Fprintf(&b, "  gc: %d bundle entries pruned, %d versions pruned, %d limbo retired (%d pruned, %d live)\n",

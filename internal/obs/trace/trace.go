@@ -81,6 +81,11 @@ const (
 	// shard, acquiring any per-shard provider locks, and reading the one
 	// shared timestamp (span).
 	PhaseShardFanout
+	// PhaseSourceSwitch is the time a range query wasted on a collection
+	// attempt that an adaptive-source generation switch invalidated: the
+	// discarded attempt's duration, from taking the stale bound to the
+	// failed revalidation (span).
+	PhaseSourceSwitch
 
 	// NumPhases is the number of phases.
 	NumPhases
@@ -115,6 +120,8 @@ func (p Phase) String() string {
 		return "advance-stall"
 	case PhaseShardFanout:
 		return "shard-fanout"
+	case PhaseSourceSwitch:
+		return "source-switch"
 	}
 	return "unknown"
 }
@@ -124,7 +131,7 @@ func (p Phase) String() string {
 func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseTraverse, PhaseTimestamp, PhaseLabel, PhaseLockWait, PhaseLimboScan,
-		PhaseShardFanout:
+		PhaseShardFanout, PhaseSourceSwitch:
 		return true
 	}
 	return false

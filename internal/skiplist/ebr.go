@@ -305,15 +305,25 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 // snapshot: live-list nodes passing the visibility predicate plus limbo
 // nodes deleted after the bound.
 func (t *EBRList) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	// The snapshot span covers the provider's exclusive-lock acquisition
-	// (lock-based variant); the wait alone also lands in the shared
-	// lock-wait aggregate.
-	mark := tr.Now()
-	s := t.provider.Snapshot()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	return t.RangeQueryAt(th, lo, hi, s, out)
+	base := len(out)
+	for {
+		th.BeginRQ()
+		// The snapshot span covers the provider's exclusive-lock acquisition
+		// (lock-based variant); the wait alone also lands in the shared
+		// lock-wait aggregate.
+		mark := tr.Now()
+		s := t.provider.Snapshot()
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.provider.Source(), s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		out = out[:base]
+	}
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

@@ -339,12 +339,22 @@ func visibleAt(n *node, s core.TS) bool {
 // linearizable snapshot. The upper levels (untimestamped) only position
 // the query near lo; the walk itself follows bottom-level bundles.
 func (t *List) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV) []core.KV {
-	th.BeginRQ()
 	tr := t.tr
-	mark := tr.Now()
-	s := t.src.Peek()
-	tr.Span(th.ID, trace.PhaseTimestamp, mark)
-	return t.RangeQueryAt(th, lo, hi, s, out)
+	base := len(out)
+	for {
+		th.BeginRQ()
+		mark := tr.Now()
+		s := t.src.Peek()
+		tr.Span(th.ID, trace.PhaseTimestamp, mark)
+		out = t.RangeQueryAt(th, lo, hi, s, out)
+		if core.SnapshotValid(t.src, s) {
+			return out
+		}
+		// Source generation switched under the query; the result may
+		// tear the snapshot. Discard and retry with a fresh bound.
+		tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		out = out[:base]
+	}
 }
 
 // RangeQueryAt collects [lo, hi] as of the caller-provided bound s. The

@@ -35,6 +35,26 @@ type Health struct {
 	maxBack   atomic.Uint64 // worst regression magnitude (ticks)
 	samples   atomic.Uint64
 
+	// degraded is the fast-path flag consumed by adaptive timestamp
+	// sources on their hot paths: one relaxed load answers "has any
+	// fault been observed since the flag was last cleared". faultSeq
+	// counts every observed fault (real, injected, or stall) and never
+	// resets, so failback hysteresis can distinguish "flag cleared" from
+	// "no new faults".
+	degraded atomic.Uint32
+	faultSeq atomic.Uint64
+	injected atomic.Uint64 // synthetic faults from InjectBackstep
+	stalls   atomic.Uint64 // stalled-source reports (AdvanceStrict gave up)
+
+	// Source-switch telemetry reported by adaptive sources: failovers
+	// (hardware -> logical), failbacks (logical -> hardware), and the
+	// time spent inside the switch critical sections.
+	switches     atomic.Uint64
+	failbacks    atomic.Uint64
+	switchNS     atomic.Uint64
+	lastSwitchNS atomic.Uint64
+	maxSwitchNS  atomic.Uint64
+
 	slots []healthSlot
 
 	mu     sync.Mutex
@@ -124,10 +144,116 @@ func (h *Health) Sample(tid int) {
 }
 
 func (h *Health) noteBack(delta uint64) {
+	h.noteFault()
 	for {
 		cur := h.maxBack.Load()
 		if delta <= cur || h.maxBack.CompareAndSwap(cur, delta) {
 			return
+		}
+	}
+}
+
+// noteFault bumps the fault sequence and raises the degraded flag. The
+// sequence is bumped first so a failback that observes the new sequence
+// number can re-raise the flag it is about to clear.
+func (h *Health) noteFault() {
+	h.faultSeq.Add(1)
+	h.degraded.Store(1)
+}
+
+// Degraded reports whether any fault — a cross-thread or same-thread
+// regression, an injected backstep, or a stalled-source report — has
+// been observed since the flag was last cleared. One atomic load;
+// adaptive sources consult it on their timestamp hot paths. Nil-safe
+// (false).
+func (h *Health) Degraded() bool {
+	return h != nil && h.degraded.Load() != 0
+}
+
+// ClearDegraded lowers the fast-path flag, typically after a failback
+// once the fault hysteresis has elapsed. Cumulative fault counters and
+// FaultSeq are untouched; any new fault re-raises the flag. Nil-safe.
+func (h *Health) ClearDegraded() {
+	if h != nil {
+		h.degraded.Store(0)
+	}
+}
+
+// RaiseDegraded re-raises the fast-path flag without recording a new
+// fault. Adaptive sources use it to undo a ClearDegraded that raced
+// with a concurrent fault (detected via FaultSeq). Nil-safe.
+func (h *Health) RaiseDegraded() {
+	if h != nil {
+		h.degraded.Store(1)
+	}
+}
+
+// FaultSeq returns a counter incremented on every observed fault. It
+// never resets, so callers can detect "no new faults since I last
+// looked" regardless of the degraded flag's state. Nil yields 0.
+func (h *Health) FaultSeq() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.faultSeq.Load()
+}
+
+// InjectBackstep is the injectable fault hook: it simulates a TSC that
+// jumped back by delta ticks by publishing a maximum delta above the
+// current reading. The next genuine Sample on any thread then observes
+// a real cross-thread regression, and the degraded flag is raised
+// immediately so adaptive sources react without waiting for a sample.
+// Test- and chaos-harness-only; nil-safe.
+func (h *Health) InjectBackstep(delta uint64) {
+	if h == nil {
+		return
+	}
+	now := ReadFenced()
+	for {
+		cur := h.maxSeen.Load()
+		target := now + delta
+		if target <= cur || h.maxSeen.CompareAndSwap(cur, target) {
+			break
+		}
+	}
+	h.injected.Add(1)
+	h.noteBack(delta)
+}
+
+// NoteStall records that a strict timestamp acquisition exhausted its
+// spin budget against a source that would not move — the signature of a
+// frozen or severely degraded counter. Counts as a fault. Nil-safe.
+func (h *Health) NoteStall() {
+	if h == nil {
+		return
+	}
+	h.stalls.Add(1)
+	h.noteFault()
+}
+
+// NoteSourceSwitch records one adaptive-source generation switch:
+// failback false is a failover (hardware -> logical), true the return
+// trip. d is the time spent inside the switch critical section. The
+// counts and latencies surface on the /tschealth endpoint. Nil-safe.
+func (h *Health) NoteSourceSwitch(failback bool, d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d.Nanoseconds())
+	}
+	if failback {
+		h.failbacks.Add(1)
+	} else {
+		h.switches.Add(1)
+	}
+	h.switchNS.Add(ns)
+	h.lastSwitchNS.Store(ns)
+	for {
+		cur := h.maxSwitchNS.Load()
+		if ns <= cur || h.maxSwitchNS.CompareAndSwap(cur, ns) {
+			break
 		}
 	}
 }
@@ -232,6 +358,13 @@ type HealthSnapshot struct {
 	CrossRegressions uint64         `json:"cross_regressions"`
 	MaxBackstepTicks uint64         `json:"max_backstep_ticks"`
 	MaxBackstepNS    float64        `json:"max_backstep_ns"`
+	InjectedFaults   uint64         `json:"injected_faults,omitempty"`
+	SourceStalls     uint64         `json:"source_stalls,omitempty"`
+	SourceSwitches   uint64         `json:"source_switches"`
+	SourceFailbacks  uint64         `json:"source_failbacks"`
+	SwitchTotalNS    uint64         `json:"switch_total_ns,omitempty"`
+	LastSwitchNS     uint64         `json:"last_switch_ns,omitempty"`
+	MaxSwitchNS      uint64         `json:"max_switch_ns,omitempty"`
 	Threads          []ThreadHealth `json:"threads,omitempty"`
 	Probes           []ProbeThread  `json:"probes,omitempty"`
 	Warnings         []string       `json:"warnings,omitempty"`
@@ -256,6 +389,13 @@ func (h *Health) Snapshot() HealthSnapshot {
 	if h.ticksPerNS > 0 {
 		s.MaxBackstepNS = float64(s.MaxBackstepTicks) / h.ticksPerNS
 	}
+	s.InjectedFaults = h.injected.Load()
+	s.SourceStalls = h.stalls.Load()
+	s.SourceSwitches = h.switches.Load()
+	s.SourceFailbacks = h.failbacks.Load()
+	s.SwitchTotalNS = h.switchNS.Load()
+	s.LastSwitchNS = h.lastSwitchNS.Load()
+	s.MaxSwitchNS = h.maxSwitchNS.Load()
 	var selfBack uint64
 	max := h.maxSeen.Load()
 	for i := range h.slots {
@@ -295,7 +435,8 @@ func (h *Health) Snapshot() HealthSnapshot {
 		} else {
 			s.Warnings = append(s.Warnings, "TSC is not invariant; accessors serve the monotonic clock")
 		}
-	case s.CrossRegressions > 0 || selfBack > 0 || worstDrift > driftWarnPPM:
+	case s.CrossRegressions > 0 || selfBack > 0 || worstDrift > driftWarnPPM ||
+		s.InjectedFaults > 0 || s.SourceStalls > 0:
 		s.State = StateDegraded
 		if s.CrossRegressions > 0 {
 			s.Warnings = append(s.Warnings, fmt.Sprintf(
@@ -307,6 +448,12 @@ func (h *Health) Snapshot() HealthSnapshot {
 		}
 		if worstDrift > driftWarnPPM {
 			s.Warnings = append(s.Warnings, fmt.Sprintf("per-core rate drift up to %.0f ppm vs. calibration", worstDrift))
+		}
+		if s.InjectedFaults > 0 {
+			s.Warnings = append(s.Warnings, fmt.Sprintf("%d injected backstep(s) (fault-injection harness)", s.InjectedFaults))
+		}
+		if s.SourceStalls > 0 {
+			s.Warnings = append(s.Warnings, fmt.Sprintf("%d stalled-source report(s): strict advance exhausted its spin budget", s.SourceStalls))
 		}
 	default:
 		s.State = StateHealthy

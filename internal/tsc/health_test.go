@@ -130,6 +130,110 @@ func TestHealthJSON(t *testing.T) {
 	}
 }
 
+func TestHealthDegradedFlag(t *testing.T) {
+	h := NewHealth(2)
+	if h.Degraded() {
+		t.Fatal("fresh monitor reports degraded")
+	}
+	if got := h.FaultSeq(); got != 0 {
+		t.Fatalf("fresh FaultSeq = %d, want 0", got)
+	}
+	h.InjectBackstep(1_000_000)
+	if !h.Degraded() {
+		t.Fatal("InjectBackstep did not raise the degraded flag")
+	}
+	seq := h.FaultSeq()
+	if seq == 0 {
+		t.Fatal("InjectBackstep did not bump FaultSeq")
+	}
+	h.ClearDegraded()
+	if h.Degraded() {
+		t.Fatal("ClearDegraded did not lower the flag")
+	}
+	if got := h.FaultSeq(); got != seq {
+		t.Fatalf("ClearDegraded changed FaultSeq %d -> %d", seq, got)
+	}
+	h.NoteStall()
+	if !h.Degraded() {
+		t.Fatal("NoteStall did not re-raise the degraded flag")
+	}
+	if got := h.FaultSeq(); got <= seq {
+		t.Fatalf("NoteStall did not bump FaultSeq (%d -> %d)", seq, got)
+	}
+
+	// Nil receivers are inert.
+	var nilH *Health
+	nilH.InjectBackstep(1)
+	nilH.NoteStall()
+	nilH.ClearDegraded()
+	nilH.NoteSourceSwitch(false, time.Microsecond)
+	if nilH.Degraded() || nilH.FaultSeq() != 0 {
+		t.Fatal("nil Health not inert")
+	}
+}
+
+func TestHealthInjectBackstepObservedBySample(t *testing.T) {
+	h := NewHealth(1)
+	h.Sample(0)
+	before := h.Snapshot().CrossRegressions
+	// Publish a maximum far above anything the clock will reach during
+	// the test, so the next genuine sample observes a regression.
+	h.InjectBackstep(uint64(time.Hour))
+	h.Sample(0)
+	s := h.Snapshot()
+	if s.CrossRegressions <= before {
+		t.Fatalf("cross regressions %d -> %d; injected backstep not observed", before, s.CrossRegressions)
+	}
+	if s.InjectedFaults != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", s.InjectedFaults)
+	}
+	if s.State != StateDegraded && s.State != StateFallback {
+		t.Fatalf("state = %q after injected fault, want degraded (or fallback without hardware)", s.State)
+	}
+	if s.State == StateDegraded && len(s.Warnings) == 0 {
+		t.Fatal("degraded state must carry warnings")
+	}
+}
+
+func TestHealthSourceSwitchTelemetry(t *testing.T) {
+	h := NewHealth(1)
+	h.NoteSourceSwitch(false, 500*time.Nanosecond)
+	h.NoteSourceSwitch(false, 2*time.Microsecond)
+	h.NoteSourceSwitch(true, time.Microsecond)
+	s := h.Snapshot()
+	if s.SourceSwitches != 2 {
+		t.Fatalf("SourceSwitches = %d, want 2", s.SourceSwitches)
+	}
+	if s.SourceFailbacks != 1 {
+		t.Fatalf("SourceFailbacks = %d, want 1", s.SourceFailbacks)
+	}
+	if want := uint64(3500); s.SwitchTotalNS != want {
+		t.Fatalf("SwitchTotalNS = %d, want %d", s.SwitchTotalNS, want)
+	}
+	if s.LastSwitchNS != 1000 {
+		t.Fatalf("LastSwitchNS = %d, want 1000", s.LastSwitchNS)
+	}
+	if s.MaxSwitchNS != 2000 {
+		t.Fatalf("MaxSwitchNS = %d, want 2000", s.MaxSwitchNS)
+	}
+	// Switch telemetry alone is not a fault.
+	if h.Degraded() {
+		t.Fatal("NoteSourceSwitch raised the degraded flag")
+	}
+}
+
+func TestHealthStallCountsAsFault(t *testing.T) {
+	h := NewHealth(1)
+	h.NoteStall()
+	s := h.Snapshot()
+	if s.SourceStalls != 1 {
+		t.Fatalf("SourceStalls = %d, want 1", s.SourceStalls)
+	}
+	if s.State == StateHealthy {
+		t.Fatal("stall report left state healthy")
+	}
+}
+
 func TestHealthOutOfRangeThread(t *testing.T) {
 	h := NewHealth(1)
 	h.Sample(-1)

@@ -35,6 +35,14 @@ func Monotonic() uint64 {
 // makes cross-core timestamp comparison sound.
 func Supported() bool { return supported() }
 
+// HasCounter reports whether the architecture has any hardware cycle
+// counter at all (RDTSC on amd64, CNTVCT on arm64), independent of
+// RDTSCP availability or invariance. When false, every accessor —
+// including the "raw" and "CPUID" variants — serves the monotonic
+// clock, so no hardware-timestamp configuration can be honest about
+// its label.
+func HasCounter() bool { return hasCounter() }
+
 // Invariant reports whether the CPU advertises invariant TSC
 // (CPUID.80000007H:EDX[8]), i.e. the counter increments at a constant
 // rate regardless of power states, keeping cores mutually synchronized.

@@ -30,6 +30,9 @@ func init() {
 func supported() bool { return hasRDTSCP }
 func invariant() bool { return hasInvariant }
 
+// RDTSC itself is baseline amd64; only RDTSCP is feature-gated.
+func hasCounter() bool { return true }
+
 func readFenced() uint64 {
 	if hasRDTSCP {
 		return rdtscpFenced()

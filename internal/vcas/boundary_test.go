@@ -1,0 +1,65 @@
+package vcas
+
+import (
+	"testing"
+
+	"tscds/internal/core"
+)
+
+// Boundary tie-break regression: a hardware Source.Snapshot can return a
+// value EQUAL to a concurrent label's timestamp (unlike LogicalSource,
+// whose pre-increment makes later labels strictly newer). The codebase's
+// pinned rule, asserted here so no future edit flips an inequality:
+//
+//	a version/insert labeled ts == s IS part of the snapshot at s;
+//	a delete labeled ts == s REMOVES the node from the snapshot at s.
+//
+// i.e. every visibility comparison treats the bound inclusively
+// ("labels <= s happened"), so a tie linearizes the update before the
+// query regardless of which source produced the timestamps.
+func TestReadVersionBoundaryTieBreak(t *testing.T) {
+	src := core.NewLogical()
+	o := New[uint64](10)
+	// Advance to a known label and write at exactly that timestamp.
+	for src.Peek() < 5 {
+		src.Advance()
+	}
+	o.Write(src, 20) // labeled Peek() == 5
+	label := o.Head().TS()
+	if label != 5 {
+		t.Fatalf("setup: head labeled %d, want 5", label)
+	}
+
+	// Bound EQUAL to the label: the tied version is included.
+	if v, ok := o.ReadVersion(src, label); !ok || v != 20 {
+		t.Fatalf("ReadVersion(s == label) = (%d,%v), want the tied version 20", v, ok)
+	}
+	// One below the label: the older version.
+	if v, ok := o.ReadVersion(src, label-1); !ok || v != 10 {
+		t.Fatalf("ReadVersion(s == label-1) = (%d,%v), want pre-write value 10", v, ok)
+	}
+	// Above the label: still the newest.
+	if v, ok := o.ReadVersion(src, label+1); !ok || v != 20 {
+		t.Fatalf("ReadVersion(s == label+1) = (%d,%v), want 20", v, ok)
+	}
+}
+
+// Truncate must keep the newest version labeled exactly at the minimum
+// active bound — it is the version a snapshot at that bound reads.
+func TestTruncateBoundaryKeepsTiedVersion(t *testing.T) {
+	src := core.NewLogical()
+	o := New[uint64](1)
+	o.Write(src, 2) // label 1
+	src.Advance()
+	o.Write(src, 3) // label 2
+	src.Advance()
+	o.Write(src, 4) // label 3
+	tied := o.Head().TS()
+	o.Truncate(tied)
+	if v, ok := o.ReadVersion(src, tied); !ok || v != 4 {
+		t.Fatalf("after Truncate(s), ReadVersion(s) = (%d,%v), want tied version 4", v, ok)
+	}
+	if n := o.ChainLen(); n != 1 {
+		t.Fatalf("chain length after boundary truncate = %d, want 1", n)
+	}
+}

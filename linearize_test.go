@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"tscds"
 	"tscds/internal/linearize"
@@ -29,7 +30,7 @@ func linMatrix() []linTriple {
 	var out []linTriple
 	for _, s := range []tscds.Structure{tscds.BST, tscds.Citrus, tscds.SkipList, tscds.LazyList, tscds.NMBST} {
 		for _, tech := range []tscds.Technique{tscds.VCAS, tscds.Bundle, tscds.EBRRQ, tscds.EBRRQLockFree} {
-			for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC, tscds.Monotonic} {
+			for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC, tscds.Monotonic, tscds.Adaptive} {
 				if _, err := tscds.New(s, tech, tscds.Config{Source: src}); err == nil {
 					out = append(out, linTriple{s, tech, src})
 				}
@@ -75,6 +76,67 @@ func TestLinearizability(t *testing.T) {
 					err, name, cfg.Seed)
 			}
 			t.Logf("%s", h.Summary())
+		})
+	}
+}
+
+// TestLinearizabilityAdaptiveSwitch is the adaptive source's correctness
+// claim under stress: for every combination that accepts Adaptive, a TSC
+// backstep is injected halfway through the run (while every worker keeps
+// operating), forcing the source to fail over from hardware to the
+// logical counter mid-history. The recorded history spans the generation
+// switch — range queries before, during and after it — and must still
+// admit a sequential witness. The health monitor must also record that
+// the switch actually happened, so a regression that stops acting on
+// tsc.Health cannot pass vacuously.
+func TestLinearizabilityAdaptiveSwitch(t *testing.T) {
+	var triples []linTriple
+	for _, tr := range linMatrix() {
+		if tr.Src == tscds.Adaptive {
+			triples = append(triples, tr)
+		}
+	}
+	if len(triples) == 0 {
+		t.Fatal("no combination accepts the Adaptive source")
+	}
+	for _, tr := range triples {
+		tr := tr
+		name := fmt.Sprintf("%v-%v", tr.S, tr.T)
+		name = strings.ReplaceAll(name, " ", "_")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := linearize.Config{Seed: *linSeed, Workers: 4, Ops: 2000}
+			if testing.Short() {
+				cfg.Ops = 500
+			}
+			if tr.S == tscds.LazyList {
+				cfg.Ops /= 2 // O(n) traversals
+			}
+			health := tscds.NewTSCHealth(cfg.Workers + 1)
+			cfg.Midpoint = func() {
+				// A full hour of TSC ticks backwards: unambiguously a fault,
+				// and large enough that the logical counter's seed dominates
+				// any hardware reading taken just before the injection.
+				health.InjectBackstep(uint64(time.Hour))
+			}
+			m, err := tscds.New(tr.S, tr.T, tscds.Config{
+				Source:     tscds.Adaptive,
+				Health:     health,
+				MaxThreads: cfg.Workers + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := linearize.RunAndCheck(m, cfg)
+			if err != nil {
+				t.Fatalf("%v\nreproduce: go test -race -run 'TestLinearizabilityAdaptiveSwitch/%s' . -linearize.seed=%d",
+					err, name, cfg.Seed)
+			}
+			hs := health.Snapshot()
+			if hs.SourceSwitches < 1 {
+				t.Fatalf("injected a backstep mid-run but the adaptive source never switched (health: %+v)", hs)
+			}
+			t.Logf("%s; %d switches, %d failbacks", h.Summary(), hs.SourceSwitches, hs.SourceFailbacks)
 		})
 	}
 }

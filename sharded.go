@@ -93,9 +93,10 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 		shards = 1
 	}
 	reg := core.NewShardedRegistry(shards, cfg.MaxThreads)
-	src := core.New(cfg.Source)
+	src := newSource(cfg)
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
+		cfg.Metrics.SetSourceActual(core.Actual(src).String())
 		cfg.Metrics.EnsureShards(shards)
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
@@ -142,7 +143,7 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 	}
 	sh.tr = tr
 	return &ShardedMap{
-		wrap: wrap{m: sh, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr},
+		wrap: wrap{m: sh, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr},
 		n:    shards,
 	}, nil
 }
@@ -217,47 +218,64 @@ func (sh *shardedInner) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV
 	}
 
 	tr := sh.tr
-	var mark uint64
-	if tr != nil {
-		mark = tr.Now()
-	}
-	for i := 0; i < n; i++ {
-		if hit(i) {
-			th.Shard(i).BeginRQ()
+	base := len(out)
+	for {
+		var mark uint64
+		if tr != nil {
+			mark = tr.Now()
 		}
-	}
-	var s core.TS
-	switch {
-	case sh.provs != nil:
 		for i := 0; i < n; i++ {
 			if hit(i) {
-				sh.provs[i].RQLock()
+				th.Shard(i).BeginRQ()
 			}
 		}
-		s = sh.src.Snapshot()
+		var s core.TS
+		switch {
+		case sh.provs != nil:
+			for i := 0; i < n; i++ {
+				if hit(i) {
+					sh.provs[i].RQLock()
+				}
+			}
+			s = sh.src.Snapshot()
+			for i := 0; i < n; i++ {
+				if hit(i) {
+					sh.provs[i].RQUnlock()
+				}
+			}
+		case sh.peek:
+			s = sh.src.Peek()
+		default:
+			s = sh.src.Snapshot()
+		}
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseShardFanout, mark)
+		}
 		for i := 0; i < n; i++ {
-			if hit(i) {
-				sh.provs[i].RQUnlock()
+			if !hit(i) {
+				continue
 			}
+			out = sh.ats[i].RangeQueryAt(th.Shard(i), lo, hi, s, out)
 		}
-	case sh.peek:
-		s = sh.src.Peek()
-	default:
-		s = sh.src.Snapshot()
-	}
-	if tr != nil {
-		tr.Span(th.ID, trace.PhaseShardFanout, mark)
-	}
-	for i := 0; i < n; i++ {
-		if !hit(i) {
-			continue
+		if core.SnapshotValid(sh.src, s) {
+			if sh.stats != nil {
+				for i := 0; i < n; i++ {
+					if hit(i) {
+						sh.stats[i].RQs.Inc()
+					}
+				}
+			}
+			return out
 		}
-		out = sh.ats[i].RangeQueryAt(th.Shard(i), lo, hi, s, out)
-		if sh.stats != nil {
-			sh.stats[i].RQs.Inc()
+		// The shared source switched generations mid-fan-out: the common
+		// bound can no longer order against post-switch labels, so a
+		// partially post-switch collection could tear the cross-shard
+		// snapshot. Discard everything and redo the whole fan-out.
+		if tr != nil {
+			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
 		}
+		out = out[:base]
 	}
-	return out
 }
 
 // Len sums the shards; quiescent use only, like the structures' own Len.

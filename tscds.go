@@ -69,6 +69,14 @@ const (
 	TSC = core.TSC
 	// Monotonic is the portable fallback clock.
 	Monotonic = core.Monotonic
+	// Adaptive starts on TSC and fails over to the logical counter when
+	// the health monitor (Config.Health) reports the hardware degraded,
+	// failing back after a fault-free stretch. Timestamps carry a source
+	// generation in their high bits; range queries revalidate their bound
+	// against it and retry across a switch, keeping snapshots
+	// linearizable. Without Config.Health it behaves like TSC (plus the
+	// generation encoding).
+	Adaptive = core.Adaptive
 )
 
 // Structure identifies a data structure.
@@ -155,7 +163,28 @@ type Config struct {
 	// (the default) keeps every instrumentation point at one pointer
 	// test; see TestTraceDisabledNoAllocs.
 	Trace *TraceConfig
+	// Health wires a TSC health monitor into an Adaptive source: its
+	// Degraded flag drives failover, and it receives switch telemetry
+	// (visible on its JSON snapshot / a /tschealth endpoint). Ignored by
+	// non-Adaptive sources. A nil Health leaves an Adaptive source
+	// pinned to hardware.
+	Health *TSCHealth
 }
+
+// TSCHealth monitors whether the hardware timestamp counter actually
+// delivers monotonicity and cross-core agreement, and carries the
+// degraded signal an Adaptive source acts on; see internal/tsc.Health.
+// Its String method renders a JSON snapshot for stats endpoints.
+type TSCHealth = tsc.Health
+
+// TSCHealthSnapshot is the exported point-in-time state of a TSCHealth.
+type TSCHealthSnapshot = tsc.HealthSnapshot
+
+// NewTSCHealth builds a health monitor for thread IDs in
+// [0, maxThreads). Pass it in Config.Health and sample it (Sample, or
+// active Probe) from the workload; adaptive sources also report faults
+// into it on their own.
+func NewTSCHealth(maxThreads int) *TSCHealth { return tsc.NewHealth(maxThreads) }
 
 // TraceConfig parameterizes the flight recorder enabled by Config.Trace.
 type TraceConfig struct {
@@ -219,8 +248,14 @@ type Map interface {
 	// Structure and Technique identify the composition.
 	Structure() Structure
 	Technique() Technique
-	// Source reports the timestamp kind in use.
+	// Source reports the requested timestamp kind.
 	Source() SourceKind
+	// SourceActual reports the kind actually serving timestamp reads
+	// right now. It differs from Source when a hardware kind fell back
+	// to the monotonic clock on an unsupported host, and for an Adaptive
+	// source it is live: Logical while failed over, the hardware kind
+	// otherwise.
+	SourceActual() SourceKind
 	// Tracer returns the flight recorder attached via Config.Trace, or
 	// nil when tracing is disabled.
 	Tracer() *Tracer
@@ -277,9 +312,10 @@ type Registry = core.Registry
 // rejecting combinations the paper shows are unsupported.
 func New(s Structure, t Technique, cfg Config) (Map, error) {
 	reg := core.NewRegistry(cfg.MaxThreads)
-	src := core.New(cfg.Source)
+	src := newSource(cfg)
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
+		cfg.Metrics.SetSourceActual(core.Actual(src).String())
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
 	m, shift, err := buildInner(s, t, cfg.Source, src, reg)
@@ -290,9 +326,19 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 	if cfg.Trace != nil {
 		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
 	}
-	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, shift: shift, obs: cfg.Metrics, tr: tr}
+	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr}
 	wireSinks(m, cfg.Metrics, tr)
 	return w, nil
+}
+
+// newSource builds the timestamp source for a Config: an Adaptive
+// source gets the configured health monitor wired in; every other kind
+// is core.New.
+func newSource(cfg Config) core.Source {
+	if cfg.Source == Adaptive {
+		return core.NewAdaptive(core.AdaptiveConfig{Health: cfg.Health})
+	}
+	return core.New(cfg.Source)
 }
 
 // wireSinks attaches the metrics GC counters and the flight recorder to
@@ -399,14 +445,15 @@ type registrar interface {
 // when non-nil, receive per-operation counts/latencies and flight-record
 // events; each public method pays only nil tests when they are unset.
 type wrap struct {
-	m     inner
-	reg   registrar
-	s     Structure
-	t     Technique
-	src   SourceKind
-	shift uint64
-	obs   *obs.Registry
-	tr    *trace.Recorder
+	m       inner
+	reg     registrar
+	s       Structure
+	t       Technique
+	src     SourceKind
+	srcImpl core.Source // the constructed source (possibly instrumented)
+	shift   uint64
+	obs     *obs.Registry
+	tr      *trace.Recorder
 }
 
 func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
@@ -533,6 +580,13 @@ func (w *wrap) Structure() Structure { return w.s }
 func (w *wrap) Technique() Technique { return w.t }
 func (w *wrap) Source() SourceKind   { return w.src }
 func (w *wrap) Tracer() *Tracer      { return w.tr }
+
+func (w *wrap) SourceActual() SourceKind {
+	if w.srcImpl == nil {
+		return w.src
+	}
+	return core.Actual(w.srcImpl)
+}
 
 func (w *wrap) TraceSnapshot(events bool) TraceSnapshot {
 	return w.tr.Snapshot(events)
