@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -453,8 +454,123 @@ func runAdaptiveFigure(threads []int, wl bench.Workload, duration time.Duration,
 	fmt.Printf("adaptive: wrote %d arm records to BENCH_adaptive.json\n", len(records))
 }
 
+// allocArmRecord is one BENCH_alloc.json entry: an allocation mode's
+// throughput next to the runtime's allocation and GC-pause deltas over
+// the measured window, plus the pool's own hit/miss/recycle counters.
+type allocArmRecord struct {
+	Label       string  `json:"label"`
+	Alloc       string  `json:"alloc"`
+	Source      string  `json:"source"`
+	Threads     int     `json:"threads"`
+	Mops        float64 `json:"mops"`
+	Ops         uint64  `json:"ops"`
+	Mallocs     uint64  `json:"mallocs"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GCPauseNS   uint64  `json:"gc_pause_ns"`
+	GCCycles    uint32  `json:"gc_cycles"`
+	PoolHits    uint64  `json:"pool_hits,omitempty"`
+	PoolMisses  uint64  `json:"pool_misses,omitempty"`
+	Recycled    uint64  `json:"pool_recycled,omitempty"`
+}
+
+// runAllocFigure regenerates the allocation-mode arm: GC, Pool and Arena
+// allocation over the same update-heavy workload, each under Logical and
+// TSC sources, on the skip list + EBR-RQ pairing (the combination where
+// epoch reclamation actually feeds the pools, so recycling — not just
+// arena batching — is on the measured path). Updates dominate by design:
+// every insert allocates a node and every delete retires one, so the
+// figure isolates what Config.Alloc buys — allocs/op and GC pause time —
+// next to the throughput it costs or earns. Results land in
+// BENCH_alloc.json.
+func runAllocFigure(threads []int, wl bench.Workload, duration time.Duration, trials int) {
+	n := threads[len(threads)-1]
+	results := map[string][]bench.Result{}
+	var records []allocArmRecord
+	for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+		for _, am := range []tscds.AllocMode{tscds.AllocGC, tscds.AllocPool, tscds.AllocArena} {
+			name := "EBR-RQ-" + am.String()
+			if src == tscds.TSC {
+				name += "-RDTSCP"
+			}
+			// Metrics are always on for this figure: the pool counters are
+			// part of what it reports.
+			cfg := tscds.Config{Source: src, MaxThreads: 512, Alloc: am, Metrics: tscds.NewMetrics()}
+			if traceOn {
+				cfg.Trace = &tscds.TraceConfig{}
+			}
+			m, err := tscds.New(tscds.SkipList, tscds.EBRRQ, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			warnSubstituted(m, src)
+			curMetrics.Store(cfg.Metrics)
+			curTracer.Store(m.Tracer())
+			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Settle the heap so the deltas below cover the measurement,
+			// not the prefill.
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
+				Threads: n, Duration: duration, Trials: trials, Pin: true, Seed: 7,
+			}, arm{name, tscds.SkipList, tscds.EBRRQ}, src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.ReadMemStats(&after)
+			results[name] = append(results[name], res)
+			ops := uint64(res.OpSplit[0] + res.OpSplit[1] + res.OpSplit[2])
+			rec := allocArmRecord{
+				Label:     name,
+				Alloc:     am.String(),
+				Source:    src.String(),
+				Threads:   n,
+				Mops:      res.Mean,
+				Ops:       ops,
+				Mallocs:   after.Mallocs - before.Mallocs,
+				GCPauseNS: after.PauseTotalNs - before.PauseTotalNs,
+				GCCycles:  after.NumGC - before.NumGC,
+			}
+			if ops > 0 {
+				rec.AllocsPerOp = float64(rec.Mallocs) / float64(ops)
+			}
+			if ps := cfg.Metrics.Snapshot().Pool; ps != nil {
+				rec.PoolHits = ps.Hits
+				rec.PoolMisses = ps.Misses
+				rec.Recycled = ps.Recycled
+			}
+			records = append(records, rec)
+			fmt.Printf("alloc arm %s: %.2f allocs/op (%d mallocs / %d ops), GC pause %v over %d cycles\n",
+				name, rec.AllocsPerOp, rec.Mallocs, rec.Ops,
+				time.Duration(rec.GCPauseNS), rec.GCCycles)
+			if metricsOn {
+				dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), cfg.Metrics)
+			}
+			dumpTrace(fmt.Sprintf("%s %s", name, wl.Label()), m)
+		}
+	}
+	fmt.Println(bench.Table(
+		fmt.Sprintf("Figure alloc (allocation modes), workload %s, native (%d trials x %v)",
+			wl.Label(), trials, duration),
+		[]int{n}, results))
+	b, err := json.MarshalIndent(records, "", " ")
+	if err == nil {
+		err = os.WriteFile("BENCH_alloc.json", append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_alloc.json: %v\n", err)
+		return
+	}
+	fmt.Printf("alloc: wrote %d arm records to BENCH_alloc.json\n", len(records))
+}
+
 func main() {
-	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive")
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive, alloc")
 	mode := flag.String("mode", "native", "native or sim")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
@@ -529,6 +645,28 @@ func main() {
 		wl.KeyRange = *keyRange
 		wl.ZipfS = *zipf
 		runAdaptiveFigure(threads, wl, *duration, *trials, *injectEvery)
+		if tscHealth != nil {
+			fmt.Printf("tschealth %s\n", tscHealth.String())
+		}
+		return
+	}
+
+	if *custom == "" && *fig == "alloc" {
+		if *mode == "sim" {
+			fmt.Fprintln(os.Stderr, "figure alloc runs natively only")
+			os.Exit(1)
+		}
+		threads, err := bench.ParseThreads(*threadsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Update-heavy by design: every insert allocates and every delete
+		// retires, so allocation modes separate maximally here.
+		wl := bench.PaperWorkload(100, 0, 0)
+		wl.KeyRange = *keyRange
+		wl.ZipfS = *zipf
+		runAllocFigure(threads, wl, *duration, *trials)
 		if tscHealth != nil {
 			fmt.Printf("tschealth %s\n", tscHealth.String())
 		}

@@ -333,3 +333,83 @@ func FuzzBatchStore(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPooledAgainstModel is FuzzMapAgainstModel with Config.Alloc set to
+// a recycling mode and Drain interleaved into the op tape. Drain forces
+// retired nodes through limbo into the pool free lists, so subsequent
+// inserts run on recycled memory — any field a constructor forgets to
+// reset, or any node recycled while still reachable, surfaces as a model
+// divergence or a crash. The first tape byte picks Pool vs Arena; the
+// rest is the op tape (op byte mod 5: insert, delete, contains, range,
+// drain).
+func FuzzPooledAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 1, 1, 4, 0, 0, 3, 0, 5})
+	f.Add([]byte{1, 0, 5, 0, 6, 0, 7, 1, 6, 4, 0, 0, 6, 3, 4})
+	seq := []byte{0}
+	for i := 0; i < 96; i++ {
+		seq = append(seq, byte(i%5), byte(i*11))
+	}
+	f.Add(seq)
+
+	combos := allCombos()
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) == 0 {
+			return
+		}
+		alloc := AllocPool
+		if tape[0]%2 == 1 {
+			alloc = AllocArena
+		}
+		tape = tape[1:]
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		for _, c := range combos {
+			m, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2, Alloc: alloc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := m.RegisterThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[uint64]uint64{}
+			for i := 0; i+1 < len(tape); i += 2 {
+				op := tape[i] % 5
+				key := uint64(tape[i+1])
+				switch op {
+				case 0:
+					_, exists := model[key]
+					if got := m.Insert(th, key, key*3); got == exists {
+						t.Fatalf("%v/%v/%v op %d: Insert(%d)=%v exists=%v", c.S, c.T, alloc, i, key, got, exists)
+					}
+					if !exists {
+						model[key] = key * 3
+					}
+				case 1:
+					_, exists := model[key]
+					if got := m.Delete(th, key); got != exists {
+						t.Fatalf("%v/%v/%v op %d: Delete(%d)=%v exists=%v", c.S, c.T, alloc, i, key, got, exists)
+					}
+					delete(model, key)
+				case 2:
+					_, exists := model[key]
+					if got := m.Contains(th, key); got != exists {
+						t.Fatalf("%v/%v/%v op %d: Contains(%d)=%v want %v", c.S, c.T, alloc, i, key, got, exists)
+					}
+				case 3:
+					label := fmt.Sprintf("%v/%v/%v op %d", c.S, c.T, alloc, i)
+					checkRangeAgainstModel(t, label, m, th, model, key, key+16)
+				default:
+					m.Drain() // recycle everything retired so far
+				}
+			}
+			m.Drain()
+			checkRangeAgainstModel(t, fmt.Sprintf("%v/%v/%v final", c.S, c.T, alloc), m, th, model, 0, MaxKey)
+			if m.Len() != len(model) {
+				t.Fatalf("%v/%v/%v final: Len=%d model=%d", c.S, c.T, alloc, m.Len(), len(model))
+			}
+			th.Release()
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"tscds/internal/core"
+	"tscds/internal/pool"
 )
 
 // Entry is one moment of a link's history.
@@ -46,9 +47,22 @@ type Bundle[T any] struct {
 
 // Init records the link's initial target with label 0, before the
 // enclosing node is published.
-func (b *Bundle[T]) Init(ptr *T) {
-	e := &Entry[T]{ptr: ptr}
+func (b *Bundle[T]) Init(ptr *T) { b.InitIn(nil, -1, ptr) }
+
+// InitIn is Init drawing the entry from p (Config.Alloc pooled/arena
+// modes; nil p allocates through the GC). Entries from a pool may be
+// recycled memory, so every field is reset before the entry becomes
+// reachable.
+//
+// As with vCAS versions, entries detached by Truncate remain readable
+// by snapshot readers holding direct pointers into the history, so the
+// truncation path never feeds the pool; entry pooling buys arena
+// batching and reuse of aborted (never-published) entries only.
+func (b *Bundle[T]) InitIn(p *pool.Pool[Entry[T]], tid int, ptr *T) {
+	e := p.Get(tid)
+	e.ptr = ptr
 	e.ts.Store(0)
+	e.next.Store(nil)
 	b.head.Store(e)
 }
 
@@ -65,9 +79,15 @@ func New[T any](ptr *T) *Bundle[T] {
 // is newer than their snapshot — needed when a reader can land on a node
 // through an un-timestamped index (the skip list's upper levels) rather
 // than through a labeled edge.
-func (b *Bundle[T]) InitPending(ptr *T) *Entry[T] {
-	e := &Entry[T]{ptr: ptr}
+func (b *Bundle[T]) InitPending(ptr *T) *Entry[T] { return b.InitPendingIn(nil, -1, ptr) }
+
+// InitPendingIn is InitPending drawing the entry from p (nil p
+// allocates through the GC).
+func (b *Bundle[T]) InitPendingIn(p *pool.Pool[Entry[T]], tid int, ptr *T) *Entry[T] {
+	e := p.Get(tid)
+	e.ptr = ptr
 	e.ts.Store(uint64(core.Pending))
+	e.next.Store(nil)
 	b.head.Store(e)
 	return e
 }
@@ -76,8 +96,13 @@ func (b *Bundle[T]) InitPending(ptr *T) *Entry[T] {
 // hold the structure's locks covering this link, so at most one pending
 // entry exists per bundle. The entry stays pending — blocking snapshot
 // readers that reach it — until Finalize.
-func (b *Bundle[T]) Prepare(ptr *T) *Entry[T] {
-	e := &Entry[T]{ptr: ptr}
+func (b *Bundle[T]) Prepare(ptr *T) *Entry[T] { return b.PrepareIn(nil, -1, ptr) }
+
+// PrepareIn is Prepare drawing the entry from p (nil p allocates
+// through the GC).
+func (b *Bundle[T]) PrepareIn(p *pool.Pool[Entry[T]], tid int, ptr *T) *Entry[T] {
+	e := p.Get(tid)
+	e.ptr = ptr
 	e.ts.Store(core.Pending)
 	e.next.Store(b.head.Load())
 	b.head.Store(e)

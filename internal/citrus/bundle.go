@@ -8,6 +8,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/rcu"
 )
 
@@ -32,19 +33,20 @@ func newBnode(key, val uint64) *bnode {
 // setChild updates a link and records the change in its bundle, labeled
 // with one Source.Advance — with a logical source this is the
 // fetch-and-add each update pays; with TSC it is a core-local read, the
-// difference Figure 3's Bundle vs Bundle-RDTSCP series measures.
-func (t *BundleTree) setChild(n *bnode, dir int, target *bnode) {
+// difference Figure 3's Bundle vs Bundle-RDTSCP series measures. tid is
+// the updating thread's slot and only routes pool allocations.
+func (t *BundleTree) setChild(n *bnode, dir int, target *bnode, tid int) {
 	if t.tr != nil {
 		// The Prepare..Finalize window is bundling's labeling phase: the
 		// span readers can block on (pending-entry spins).
 		mark := t.tr.Now()
-		e := n.bnd[dir].Prepare(target)
+		e := n.bnd[dir].PrepareIn(t.ep, tid, target)
 		n.child[dir].Store(target)
 		n.bnd[dir].Finalize(e, t.src.Advance())
 		t.tr.SharedSpan(trace.PhaseLabel, mark)
 		return
 	}
-	e := n.bnd[dir].Prepare(target)
+	e := n.bnd[dir].PrepareIn(t.ep, tid, target)
 	n.child[dir].Store(target)
 	n.bnd[dir].Finalize(e, t.src.Advance())
 }
@@ -56,6 +58,8 @@ type BundleTree struct {
 	rcu  *rcu.RCU
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[bnode]
+	ep   *pool.Pool[bundle.Entry[bnode]]
 	root *bnode
 }
 
@@ -81,6 +85,39 @@ func (t *BundleTree) SetGC(g *obs.GC) { t.gc = g }
 // bundle-dereference depth and pending-entry waits. Call before the tree
 // sees concurrent traffic.
 func (t *BundleTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and bundle entries (see
+// Config.Alloc). Every node is published under locks after validation
+// and truncated entry tails stay reachable to snapshot readers, so
+// nothing ever flows back to the pools — they supply arena chunking and
+// batching only. Call before the tree sees concurrent traffic.
+func (t *BundleTree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[bnode](t.reg.Cap(), mode, ps)
+	t.ep = pool.New[bundle.Entry[bnode]](t.reg.Cap(), mode, ps)
+}
+
+// newBnodeIn is newBnode drawing the node and its two seed entries from
+// the pools, with the child links seeded directly.
+func (t *BundleTree) newBnodeIn(tid int, key, val uint64, left, right *bnode) *bnode {
+	if t.np == nil {
+		n := newBnode(key, val)
+		if left != nil || right != nil {
+			n.child[0].Store(left)
+			n.child[1].Store(right)
+			n.bnd[0].Init(left)
+			n.bnd[1].Init(right)
+		}
+		return n
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.marked = false
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	n.bnd[0].InitIn(t.ep, tid, left)
+	n.bnd[1].InitIn(t.ep, tid, right)
+	return n
+}
 
 func (t *BundleTree) noteRetries(th *core.Thread, retries uint64) {
 	if t.tr == nil {
@@ -139,7 +176,10 @@ func (t *BundleTree) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		t.setChild(prev, dir, newBnode(key, val))
+		am := t.tr.Now()
+		n := t.newBnodeIn(th.ID, key, val, nil, nil)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
+		t.setChild(prev, dir, n, th.ID)
 		t.maybeTruncate(prev, key)
 		prev.mu.Unlock()
 		t.noteRetries(th, retries)
@@ -176,14 +216,14 @@ func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
 				repl = right
 			}
 			curr.marked = true
-			t.setChild(prev, dir, repl)
+			t.setChild(prev, dir, repl, th.ID)
 			t.maybeTruncate(prev, key)
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			t.noteRetries(th, retries)
 			return true
 		}
-		if t.deleteTwoChildren(prev, dir, curr, left, right) {
+		if t.deleteTwoChildren(th.ID, prev, dir, curr, left, right) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			t.noteRetries(th, retries)
@@ -195,7 +235,7 @@ func (t *BundleTree) Delete(th *core.Thread, key uint64) bool {
 	}
 }
 
-func (t *BundleTree) deleteTwoChildren(prev *bnode, dir int, curr, left, right *bnode) bool {
+func (t *BundleTree) deleteTwoChildren(tid int, prev *bnode, dir int, curr, left, right *bnode) bool {
 	succPrev := curr
 	succ := right
 	for {
@@ -224,24 +264,20 @@ func (t *BundleTree) deleteTwoChildren(prev *bnode, dir int, curr, left, right *
 		return false
 	}
 
-	n := newBnode(succ.key, succ.val)
-	n.child[0].Store(left)
-	n.child[1].Store(right)
-	n.bnd[0].Init(left)
-	n.bnd[1].Init(right)
+	n := t.newBnodeIn(tid, succ.key, succ.val, left, right)
 	n.mu.Lock()
 
 	curr.marked = true
-	t.setChild(prev, dir, n) // key removed; successor's key duplicated until unlink
+	t.setChild(prev, dir, n, tid) // key removed; successor's key duplicated until unlink
 
 	t.rcu.Synchronize()
 
 	succ.marked = true
 	succRight := succ.child[1].Load()
 	if succPrev == curr {
-		t.setChild(n, 1, succRight)
+		t.setChild(n, 1, succRight, tid)
 	} else {
-		t.setChild(succPrev, 0, succRight)
+		t.setChild(succPrev, 0, succRight, tid)
 	}
 	t.maybeTruncate(prev, succ.key)
 

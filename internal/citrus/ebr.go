@@ -9,6 +9,7 @@ import (
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/rcu"
 )
 
@@ -43,6 +44,7 @@ type EBRTree struct {
 	rcu      *rcu.RCU
 	em       *epoch.Manager[*enode]
 	tr       *trace.Recorder
+	np       *pool.Pool[enode] // nil in GC mode
 	root     *enode
 }
 
@@ -80,6 +82,36 @@ func (t *EBRTree) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *EBRTree) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetAlloc switches node allocation to the pooled/arena facade and
+// recycles pruned limbo nodes back into it. Citrus retires each node
+// exactly once (the marked flag flips under the node's lock before the
+// only Retire it will ever see), so unlike the lock-free BST no limbo
+// reference count is needed. Call before the tree sees traffic.
+func (t *EBRTree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[enode](t.reg.Cap(), mode, ps)
+	if t.np != nil {
+		t.em.SetRecycle(func(n *enode, tid int) { t.np.Put(tid, n) })
+	}
+}
+
+// newNode acquires and fully re-initializes a node. marked=false and
+// fresh labels are the load-bearing resets: a recycled marked=true
+// would make every validation against the node fail forever, and stale
+// labels would corrupt snapshot visibility.
+func (t *EBRTree) newNode(tid int, key, val uint64) *enode {
+	if t.np == nil {
+		return newEnode(key, val)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.marked = false
+	n.child[0].Store(nil)
+	n.child[1].Store(nil)
+	n.itime.Init()
+	n.dtime.Init()
+	return n
+}
 
 // SetTrace wires the flight recorder (nil disables it) through the tree,
 // its timestamp provider (lock-wait/label spans) and its epoch manager
@@ -163,7 +195,9 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		n := newEnode(key, val)
+		amark := t.tr.Now()
+		n := t.newNode(th.ID, key, val)
+		t.tr.Span(th.ID, trace.PhaseAlloc, amark)
 		prev.child[dir].Store(n)
 		t.provider.Label(&n.itime) // linearization: (read ts, label) atomic
 		prev.mu.Unlock()
@@ -252,7 +286,7 @@ func (t *EBRTree) deleteTwoChildren(th *core.Thread, prev *enode, dir int, curr,
 		return false
 	}
 
-	n := newEnode(succ.key, succ.val)
+	n := t.newNode(th.ID, succ.key, succ.val)
 	n.child[0].Store(left)
 	n.child[1].Store(right)
 	n.mu.Lock()

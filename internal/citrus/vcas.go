@@ -6,6 +6,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/rcu"
 	"tscds/internal/vcas"
 )
@@ -34,6 +35,8 @@ type VcasTree struct {
 	rcu  *rcu.RCU
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[vnode]
+	vp   *pool.Pool[vcas.Version[*vnode]]
 	root *vnode
 }
 
@@ -58,6 +61,37 @@ func (t *VcasTree) SetGC(g *obs.GC) { t.gc = g }
 // counts on updates, range-query timestamp/traverse spans and
 // version-walk lengths. Call before the tree sees concurrent traffic.
 func (t *VcasTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and vCAS versions (see
+// Config.Alloc). Every node this tree creates is published (creation
+// happens under locks after validation), and published memory stays
+// reachable to snapshot readers, so nothing ever flows back to the
+// pools — they supply arena chunking and batching only. Call before the
+// tree sees concurrent traffic.
+func (t *VcasTree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[vnode](t.reg.Cap(), mode, ps)
+	t.vp = pool.New[vcas.Version[*vnode]](t.reg.Cap(), mode, ps)
+}
+
+// newVnodeIn is newVnode drawing the node and its two seed versions from
+// the pools, with the children seeded directly (newVnode seeds nil and
+// deleteTwoChildren re-Inits, wasting two versions on the pooled path).
+func (t *VcasTree) newVnodeIn(tid int, key, val uint64, left, right *vnode) *vnode {
+	if t.np == nil {
+		n := newVnode(key, val)
+		if left != nil || right != nil {
+			n.child[0].Init(left)
+			n.child[1].Init(right)
+		}
+		return n
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.marked = false
+	n.child[0].InitIn(t.vp, tid, left)
+	n.child[1].InitIn(t.vp, tid, right)
+	return n
+}
 
 func (t *VcasTree) noteRetries(th *core.Thread, retries uint64) {
 	if t.tr == nil {
@@ -120,8 +154,10 @@ func (t *VcasTree) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		n := newVnode(key, val)
-		prev.child[dir].Write(t.src, n)
+		am := t.tr.Now()
+		n := t.newVnodeIn(th.ID, key, val, nil, nil)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
+		prev.child[dir].WriteIn(t.src, t.vp, th.ID, n)
 		t.maybeTruncate(prev, key)
 		prev.mu.Unlock()
 		t.noteRetries(th, retries)
@@ -159,14 +195,14 @@ func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
 				repl = right
 			}
 			curr.marked = true
-			prev.child[dir].Write(t.src, repl)
+			prev.child[dir].WriteIn(t.src, t.vp, th.ID, repl)
 			t.maybeTruncate(prev, key)
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			t.noteRetries(th, retries)
 			return true
 		}
-		if t.deleteTwoChildren(prev, dir, curr, left, right) {
+		if t.deleteTwoChildren(th.ID, prev, dir, curr, left, right) {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			t.noteRetries(th, retries)
@@ -180,7 +216,7 @@ func (t *VcasTree) Delete(th *core.Thread, key uint64) bool {
 
 // deleteTwoChildren performs Citrus's successor relocation. Caller holds
 // prev and curr locks; returns false to signal a full retry.
-func (t *VcasTree) deleteTwoChildren(prev *vnode, dir int, curr, left, right *vnode) bool {
+func (t *VcasTree) deleteTwoChildren(tid int, prev *vnode, dir int, curr, left, right *vnode) bool {
 	// Find the successor (leftmost node of the right subtree) and its
 	// parent while holding curr's lock, so the subtree cannot be
 	// relocated away — but its internals may still change, hence the
@@ -214,13 +250,11 @@ func (t *VcasTree) deleteTwoChildren(prev *vnode, dir int, curr, left, right *vn
 		return false
 	}
 
-	n := newVnode(succ.key, succ.val)
-	n.child[0].Init(left)
-	n.child[1].Init(right)
+	n := t.newVnodeIn(tid, succ.key, succ.val, left, right)
 	n.mu.Lock() // published locked so no writer touches it before we finish
 
 	curr.marked = true
-	prev.child[dir].Write(t.src, n)
+	prev.child[dir].WriteIn(t.src, t.vp, tid, n)
 
 	// Wait out readers that may be en route to succ through curr.
 	t.rcu.Synchronize()
@@ -228,9 +262,9 @@ func (t *VcasTree) deleteTwoChildren(prev *vnode, dir int, curr, left, right *vn
 	succ.marked = true
 	succRight := succ.child[1].Read(t.src)
 	if succPrev == curr {
-		n.child[1].Write(t.src, succRight)
+		n.child[1].WriteIn(t.src, t.vp, tid, succRight)
 	} else {
-		succPrev.child[0].Write(t.src, succRight)
+		succPrev.child[0].WriteIn(t.src, t.vp, tid, succRight)
 	}
 	t.maybeTruncate(prev, succ.key)
 

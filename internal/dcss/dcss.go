@@ -10,23 +10,42 @@
 // *at an address*, it is the construct the paper identifies as
 // incompatible with hardware timestamps.
 //
-// Words are lock-free: readers encountering an in-flight descriptor help
-// complete it and retry, so a stalled writer never blocks progress.
+// A Word holds a 63-bit value: bit 63 is reserved to mark the word as
+// occupied by an in-flight DCSS descriptor. The marked representation
+// keeps the plain operations (Read, Store, CAS) allocation-free — they
+// are the per-update label traffic of the lock-based variant, where no
+// descriptor ever appears — while DCSS allocates one descriptor per
+// attempt, the price of a helping protocol whose descriptors may be held
+// by stalled helpers indefinitely.
+//
+// Readers encountering a mark help the descriptor complete and retry, so
+// a stalled writer never blocks progress — with one caveat: a writer
+// preempted between installing its mark and publishing its descriptor
+// leaves helpers spinning for the duration of the preemption. The window
+// is one store wide; it trades the strict lock-freedom of a boxed-cell
+// representation for allocation-free plain operations.
 package dcss
 
 import "sync/atomic"
 
-// Word is a 64-bit location supporting Read, CAS and DCSS with helping.
-// The zero value holds 0.
-type Word struct {
-	p atomic.Pointer[cell]
-}
+// MaxValue is the largest value a Word can hold; bit 63 is reserved for
+// in-flight descriptor marks.
+const MaxValue = 1<<63 - 1
 
-// cell boxes either a plain value (desc == nil) or an in-flight DCSS
-// descriptor occupying the word.
-type cell struct {
-	val  uint64
-	desc *descriptor
+const markBit = uint64(1) << 63
+
+func marked(x uint64) bool { return x&markBit != 0 }
+
+// Word is a 63-bit location supporting Read, CAS and DCSS with helping.
+// The zero value holds 0. Values with bit 63 set are reserved and must
+// not be stored.
+type Word struct {
+	v atomic.Uint64 // plain value, or markBit|seq while a DCSS is in flight
+	d atomic.Pointer[descriptor]
+	// seq makes every mark unique across the Word's lifetime, so a slow
+	// helper holding an old descriptor can never apply its outcome over a
+	// newer operation's mark.
+	seq atomic.Uint64
 }
 
 const (
@@ -38,99 +57,32 @@ const (
 type descriptor struct {
 	a1     *atomic.Uint64
 	e1     uint64
-	w      *Word
 	e2, n2 uint64
+	mark   uint64
 	status atomic.Uint32
 }
 
-// Read returns the word's current value, helping any in-flight DCSS
-// complete first.
-func (w *Word) Read() uint64 {
-	for {
-		p := w.p.Load()
-		if p == nil {
-			return 0
-		}
-		if p.desc == nil {
-			return p.val
-		}
-		p.desc.complete(p)
-	}
-}
-
-// Store unconditionally sets the value, helping in-flight operations so
-// their outcome is decided before being overwritten. Intended for
-// initialization and single-writer phases.
-func (w *Word) Store(v uint64) {
-	nc := &cell{val: v}
-	for {
-		p := w.p.Load()
-		if p != nil && p.desc != nil {
-			p.desc.complete(p)
+// help resolves the in-flight operation whose mark x the caller observed
+// in the word. It returns when the word no longer holds x.
+func (w *Word) help(x uint64) {
+	for w.v.Load() == x {
+		d := w.d.Load()
+		if d == nil || d.mark != x {
+			// The owner installed its mark but has not yet published the
+			// descriptor (or a stale descriptor from a completed operation
+			// lingers). Re-check the word; the publish is one store away.
 			continue
 		}
-		if w.p.CompareAndSwap(p, nc) {
-			return
-		}
+		w.complete(d)
 	}
 }
 
-// CAS atomically replaces old with new, helping in-flight DCSS
-// operations. It returns false if the current value differs from old.
-func (w *Word) CAS(old, new uint64) bool {
-	nc := &cell{val: new}
-	for {
-		p := w.p.Load()
-		cur := uint64(0)
-		if p != nil {
-			if p.desc != nil {
-				p.desc.complete(p)
-				continue
-			}
-			cur = p.val
-		}
-		if cur != old {
-			return false
-		}
-		if w.p.CompareAndSwap(p, nc) {
-			return true
-		}
-	}
-}
-
-// DCSS stores n2 into the word iff the word holds e2 and *a1 == e1, all
-// atomically. It returns the value observed in the word and whether the
-// swap took effect. A false return with cur == e2 means the first
-// comparand (a1) had moved — the retry signal EBR-RQ updates act on.
-func (w *Word) DCSS(a1 *atomic.Uint64, e1, e2, n2 uint64) (cur uint64, ok bool) {
-	d := &descriptor{a1: a1, e1: e1, w: w, e2: e2, n2: n2}
-	holder := &cell{val: e2, desc: d}
-	for {
-		p := w.p.Load()
-		val := uint64(0)
-		if p != nil {
-			if p.desc != nil {
-				p.desc.complete(p)
-				continue
-			}
-			val = p.val
-		}
-		if val != e2 {
-			return val, false
-		}
-		if !w.p.CompareAndSwap(p, holder) {
-			continue
-		}
-		d.complete(holder)
-		return e2, d.status.Load() == succeeded
-	}
-}
-
-// complete resolves the descriptor's outcome exactly once (status CAS)
-// and removes it from the word. Safe to call from any helper; holder is
-// the cell through which the caller observed the descriptor.
-func (d *descriptor) complete(holder *cell) {
-	if d.status.Load() == undecided {
+// complete decides the descriptor's outcome exactly once (status CAS)
+// and removes its mark from the word. The decision is taken while the
+// word provably holds d.mark — i.e. while it is frozen at e2 — which is
+// the operation's linearization point. Safe to call from any helper.
+func (w *Word) complete(d *descriptor) {
+	if d.status.Load() == undecided && w.v.Load() == d.mark {
 		if d.a1.Load() == d.e1 {
 			d.status.CompareAndSwap(undecided, succeeded)
 		} else {
@@ -141,5 +93,80 @@ func (d *descriptor) complete(holder *cell) {
 	if d.status.Load() == succeeded {
 		out = d.n2
 	}
-	d.w.p.CompareAndSwap(holder, &cell{val: out})
+	w.v.CompareAndSwap(d.mark, out)
+	w.d.CompareAndSwap(d, nil)
+}
+
+// Read returns the word's current value, helping any in-flight DCSS
+// complete first.
+func (w *Word) Read() uint64 {
+	for {
+		x := w.v.Load()
+		if !marked(x) {
+			return x
+		}
+		w.help(x)
+	}
+}
+
+// Store unconditionally sets the value, helping in-flight operations so
+// their outcome is decided before being overwritten. Intended for
+// initialization and single-writer phases. Allocation-free.
+func (w *Word) Store(v uint64) {
+	for {
+		x := w.v.Load()
+		if marked(x) {
+			w.help(x)
+			continue
+		}
+		if w.v.CompareAndSwap(x, v) {
+			return
+		}
+	}
+}
+
+// CAS atomically replaces old with new, helping in-flight DCSS
+// operations. It returns false if the current value differs from old.
+// Allocation-free.
+func (w *Word) CAS(old, new uint64) bool {
+	for {
+		x := w.v.Load()
+		if marked(x) {
+			w.help(x)
+			continue
+		}
+		if x != old {
+			return false
+		}
+		if w.v.CompareAndSwap(old, new) {
+			return true
+		}
+	}
+}
+
+// DCSS stores n2 into the word iff the word holds e2 and *a1 == e1, all
+// atomically. It returns the value observed in the word and whether the
+// swap took effect. A false return with cur == e2 means the first
+// comparand (a1) had moved — the retry signal EBR-RQ updates act on.
+func (w *Word) DCSS(a1 *atomic.Uint64, e1, e2, n2 uint64) (cur uint64, ok bool) {
+	d := &descriptor{a1: a1, e1: e1, e2: e2, n2: n2}
+	for {
+		x := w.v.Load()
+		if marked(x) {
+			w.help(x)
+			continue
+		}
+		if x != e2 {
+			return x, false
+		}
+		d.mark = markBit | (w.seq.Add(1) &^ markBit)
+		if !w.v.CompareAndSwap(e2, d.mark) {
+			continue // the word moved under us; re-validate
+		}
+		// The word is frozen at our mark; publish the descriptor so
+		// helpers can resolve it, then complete it ourselves.
+		w.d.Store(d)
+		w.complete(d)
+		return e2, d.status.Load() == succeeded
+	}
 }

@@ -190,6 +190,9 @@ func TestReadersSeeOnlyPlainValues(t *testing.T) {
 // arbitrary values.
 func TestDCSSSequentialProperty(t *testing.T) {
 	f := func(initW, initG, e1, e2, n2 uint64) bool {
+		initW &= MaxValue // bit 63 is reserved for descriptor marks
+		e2 &= MaxValue
+		n2 &= MaxValue
 		var g atomic.Uint64
 		g.Store(initG)
 		var w Word

@@ -63,12 +63,25 @@ type Label struct {
 	w dcss.Word
 }
 
+// pendingWord encodes core.Pending inside the dcss word, whose top bit
+// is reserved for descriptor marks (core.Pending has it set). It is the
+// largest storable value, so any real timestamp — logical counters and
+// raw TSC reads alike stay far below 2^63 — orders strictly below it.
+const pendingWord = uint64(dcss.MaxValue)
+
 // Init marks the label unassigned. Must run before the node is
-// published.
-func (l *Label) Init() { l.w.Store(uint64(core.Pending)) }
+// published. Allocation-free, so labels in pooled nodes reset without
+// heap traffic.
+func (l *Label) Init() { l.w.Store(pendingWord) }
 
 // Get returns the label, or core.Pending if unassigned.
-func (l *Label) Get() core.TS { return l.w.Read() }
+func (l *Label) Get() core.TS {
+	v := l.w.Read()
+	if v == pendingWord {
+		return core.Pending
+	}
+	return core.TS(v)
+}
 
 // Assigned reports whether the label has been set.
 func (l *Label) Assigned() bool { return l.Get() != core.Pending }
@@ -174,8 +187,8 @@ func (p *Provider) Label(l *Label) core.TS {
 			p.tr.SharedSpan(trace.PhaseLockWait, w)
 			lb := p.tr.Now()
 			t := p.src.Peek()
-			if !l.w.CAS(uint64(core.Pending), t) {
-				t = l.w.Read()
+			if !l.w.CAS(pendingWord, uint64(t)) {
+				t = l.Get()
 			}
 			p.mu.RUnlock()
 			p.tr.SharedSpan(trace.PhaseLabel, lb)
@@ -183,8 +196,8 @@ func (p *Provider) Label(l *Label) core.TS {
 		}
 		p.mu.RLock()
 		t := p.src.Peek()
-		if !l.w.CAS(uint64(core.Pending), t) {
-			t = l.w.Read()
+		if !l.w.CAS(pendingWord, uint64(t)) {
+			t = l.Get()
 		}
 		p.mu.RUnlock()
 		return t
@@ -192,14 +205,14 @@ func (p *Provider) Label(l *Label) core.TS {
 	var retries uint64
 	for {
 		t := p.addr.Load()
-		cur, ok := l.w.DCSS(p.addr, t, uint64(core.Pending), t)
+		cur, ok := l.w.DCSS(p.addr, t, pendingWord, t)
 		if ok {
 			p.tr.SharedCount(trace.PhaseRetry, retries)
-			return t
+			return core.TS(t)
 		}
-		if core.TS(cur) != core.Pending {
+		if cur != pendingWord {
 			p.tr.SharedCount(trace.PhaseRetry, retries)
-			return cur // someone else labeled it
+			return core.TS(cur) // someone else labeled it
 		}
 		// The global timestamp moved between read and swap; retry.
 		retries++

@@ -6,20 +6,45 @@
 // to its snapshot.
 //
 // A node is retired into its deleter's limbo list tagged with the current
-// global epoch. It is pruned (dropped, leaving physical reclamation to
-// Go's GC) only when both conditions hold:
+// global epoch. It is pruned only when both conditions hold:
 //
-//  1. two epochs have passed since retirement, so no thread can still
-//     hold a reference obtained from the structure (classic EBR), and
+//  1. three epochs have passed since retirement, so no thread can still
+//     hold a reference obtained from the structure. Classic EBR needs
+//     two, with nodes retired only after they are unreachable; EBR-RQ
+//     retires *before* unlinking (the limbo list must be scannable the
+//     moment the deletion can linearize), so a node's tag can lag its
+//     actual unreachability by one epoch — the deleter is pinned across
+//     retire and unlink, during which the global can advance once. A
+//     reader pinned at tag+1 may therefore still acquire the node from
+//     the structure; the third epoch waits that reader out. And
 //  2. the caller-supplied retention predicate releases it — EBR-RQ keeps
 //     a node while any active range query's timestamp still precedes the
 //     node's deletion timestamp.
 //
-// Lists are single-writer (the owning thread appends and prunes) with
-// concurrent lock-free readers, matching the original design.
+// What pruning *does* with the node is the caller's choice: by default
+// it is dropped for Go's GC; with a Recycle hook installed (SetRecycle)
+// the manager hands each pruned item back exactly once, so structures
+// can feed their free lists (pool.Pool) with epoch-proven-unreachable
+// memory. Recycling sharpens every liveness question into a memory-
+// safety one, so the list protocol here is explicit about who may
+// detach what:
+//
+//   - Append (Retire) is owner-only but uses a CAS push, because a
+//     pruner may concurrently detach the list out from under the push.
+//   - Prune is serialized per list by a CAS-claimed boundary (slot.claim),
+//     so the owner's amortized prune and a concurrent Drain/DrainAll
+//     cannot both detach — and thus double-recycle — the same suffix.
+//     The claim holder is also the only writer of the pruned/len stats
+//     for that detach, which keeps the accounting single-owner.
+//   - ForEachRetired (the EBR-RQ limbo scan) registers in a scan count;
+//     a detached suffix is handed to the Recycle hook only when no scan
+//     is active, and is otherwise parked on a claim-guarded deferred
+//     chain until a later prune observes zero scans. A scanner can
+//     therefore never observe an item after it reached the pool.
 package epoch
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"tscds/internal/core"
@@ -40,10 +65,10 @@ const pruneInterval = 64
 // limbo list.
 const drainInterval = 64
 
-// drainRounds bounds Drain's advance/prune attempts. Two successive
-// epoch advances make any quiescent retirement reclaimable, so a third
+// drainRounds bounds Drain's advance/prune attempts. Three successive
+// epoch advances make any quiescent retirement reclaimable, so a fourth
 // round only mops up items retired mid-drain.
-const drainRounds = 3
+const drainRounds = 4
 
 type limboNode[T any] struct {
 	item  T
@@ -52,11 +77,22 @@ type limboNode[T any] struct {
 }
 
 type slot[T any] struct {
-	local   core.PaddedUint64 // epoch observed while pinned; quiescent otherwise
-	head    atomic.Pointer[limboNode[T]]
-	retires int // owner-local counter
-	unpins  int // owner-local counter
-	_       [32]byte
+	local core.PaddedUint64 // epoch observed while pinned; quiescent otherwise
+	head  atomic.Pointer[limboNode[T]]
+	// claim serializes pruners of this slot: the owner's amortized
+	// prune and Drain/DrainAll race to CAS it 0→1, and only the winner
+	// walks, detaches, accounts, and recycles. Everything the claim
+	// guards is released before claim.Store(0), which the atomics'
+	// ordering turns into a spinlock-style happens-before edge to the
+	// next claimer.
+	claim atomic.Uint32
+	// deferred chains detached suffixes that could not be recycled yet
+	// because a limbo scan was in flight. Mutated only under claim;
+	// atomic so triggers can peek at emptiness without claiming.
+	deferred atomic.Pointer[limboNode[T]]
+	retires  int // owner-local counter
+	unpins   int // owner-local counter
+	_        [32]byte
 }
 
 // Manager coordinates epochs and limbo lists for up to a fixed number of
@@ -68,13 +104,24 @@ type Manager[T any] struct {
 	retain func(item T, minRQ core.TS) bool
 	// minRQ supplies the current minimum active range-query timestamp.
 	minRQ func() core.TS
+	// recycle, when set, receives every pruned item exactly once, on the
+	// pruning thread, after the scan guard proves no limbo scan can
+	// still observe it. tid is the pruning thread's slot id, or -1 when
+	// the pruner has no slot (DrainAll from an unregistered caller).
+	recycle func(item T, tid int)
 	// gc, when set, receives limbo-list churn (retired/pruned counts and
 	// the current population). Nil disables reporting.
 	gc *obs.GC
 	// tr, when set, receives pin republications and failed advance
 	// attempts — the stall phases of epoch management. Nil disables it.
-	tr    *trace.Recorder
-	slots []slot[T]
+	tr *trace.Recorder
+	// scans counts in-flight ForEachRetired walks; see release.
+	scans atomic.Int64
+	// wrappers recycles limboNode shells once a Recycle hook is set, so
+	// pooled mode does not trade one allocation per retire (the node)
+	// for another (its limbo wrapper).
+	wrappers sync.Pool
+	slots    []slot[T]
 	// pinHook, when set, runs inside Pin between reading the global
 	// epoch and publishing it — the window in which concurrent
 	// tryAdvance passes cannot see the thread. Tests use it to provoke
@@ -107,13 +154,20 @@ func (m *Manager[T]) SetGC(g *obs.GC) { m.gc = g }
 // the manager sees concurrent traffic.
 func (m *Manager[T]) SetTrace(tr *trace.Recorder) { m.tr = tr }
 
+// SetRecycle installs the pruned-item hook (nil reverts to dropping
+// pruned items for the GC). fn must tolerate tid == -1 by routing to a
+// thread-safe free list. Call before the manager sees traffic: items
+// retired before the hook is set may still be dropped rather than
+// recycled.
+func (m *Manager[T]) SetRecycle(fn func(item T, tid int)) { m.recycle = fn }
+
 // Pin enters an epoch-protected region for thread tid. Every data
 // structure operation (including range queries) runs pinned.
 //
 // Publication must loop: a single load-then-store leaves a window in
 // which the thread is still quiescent to tryAdvance. If the global
 // epoch moved twice in that window, the thread would end up published
-// two epochs behind, Prune's two-epoch safety margin would be void, and
+// two epochs behind, Prune's epoch safety margin would be void, and
 // a node the thread is about to traverse could be dropped. Pin
 // therefore re-reads the global after publishing and repeats until the
 // published value is current; from then on the global can move at most
@@ -144,13 +198,13 @@ func (m *Manager[T]) Pin(tid int) {
 func (m *Manager[T]) Unpin(tid int) {
 	s := &m.slots[tid]
 	s.local.Store(quiescent)
-	if s.head.Load() == nil {
+	if s.head.Load() == nil && s.deferred.Load() == nil {
 		return
 	}
 	s.unpins++
 	if s.unpins%drainInterval == 0 {
 		m.tryAdvance()
-		m.Prune(tid)
+		m.prune(tid, tid)
 	}
 }
 
@@ -160,22 +214,28 @@ func (m *Manager[T]) Unpin(tid int) {
 // thread at any time; pinned threads and active range queries still
 // block reclamation as usual.
 func (m *Manager[T]) Drain(tid int) {
-	for i := 0; i < drainRounds && m.slots[tid].head.Load() != nil; i++ {
+	s := &m.slots[tid]
+	for i := 0; i < drainRounds && (s.head.Load() != nil || s.deferred.Load() != nil); i++ {
 		m.tryAdvance()
-		m.Prune(tid)
+		m.prune(tid, tid)
 	}
 }
 
-// DrainAll drains every thread's limbo list. Unlike Drain it violates
-// the lists' single-writer discipline, so it is for quiescent use only
-// (no concurrent operations), like Len on the data structures.
+// DrainAll drains every thread's limbo list. It is safe to run
+// concurrently with operations: retirement appends are CAS pushes, and
+// the per-slot claim ensures each detached suffix is accounted and
+// recycled by exactly one pruner (a slot whose claim is held by its
+// owner's in-flight prune is simply skipped this round — that prune is
+// already doing the work). Recycled items are routed with tid -1, since
+// the draining caller owns no slot.
 func (m *Manager[T]) DrainAll() {
 	for round := 0; round < drainRounds; round++ {
 		m.tryAdvance()
 		empty := true
 		for tid := range m.slots {
-			if m.slots[tid].head.Load() != nil {
-				m.Prune(tid)
+			s := &m.slots[tid]
+			if s.head.Load() != nil || s.deferred.Load() != nil {
+				m.prune(tid, -1)
 				empty = false
 			}
 		}
@@ -189,12 +249,29 @@ func (m *Manager[T]) DrainAll() {
 func (m *Manager[T]) GlobalEpoch() uint64 { return m.global.Load() }
 
 // Retire places item on tid's limbo list tagged with the current epoch,
-// and periodically attempts epoch advancement and pruning.
+// and periodically attempts epoch advancement and pruning. The push is
+// a CAS loop rather than a plain store: a concurrent DrainAll may
+// detach the list between the head load and the publication, and a
+// plain store would resurrect the detached — possibly already recycled
+// — suffix through the new node's next pointer.
 func (m *Manager[T]) Retire(tid int, item T) {
 	s := &m.slots[tid]
-	n := &limboNode[T]{item: item, epoch: m.global.Load()}
-	n.next.Store(s.head.Load())
-	s.head.Store(n)
+	var n *limboNode[T]
+	if m.recycle != nil {
+		n, _ = m.wrappers.Get().(*limboNode[T])
+	}
+	if n == nil {
+		n = &limboNode[T]{}
+	}
+	n.item = item
+	n.epoch = m.global.Load()
+	for {
+		h := s.head.Load()
+		n.next.Store(h)
+		if s.head.CompareAndSwap(h, n) {
+			break
+		}
+	}
 	s.retires++
 	if m.gc != nil {
 		m.gc.LimboRetired.Inc()
@@ -202,7 +279,7 @@ func (m *Manager[T]) Retire(tid int, item T) {
 	}
 	if s.retires%pruneInterval == 0 {
 		m.tryAdvance()
-		m.Prune(tid)
+		m.prune(tid, tid)
 	}
 }
 
@@ -225,47 +302,143 @@ func (m *Manager[T]) tryAdvance() {
 // Prune drops the reclaimable suffix of tid's limbo list. Per-thread
 // lists are ordered newest-first with per-thread-monotonic deletion
 // timestamps, so once one node is reclaimable the entire suffix is.
-func (m *Manager[T]) Prune(tid int) {
-	safe := m.global.Load()
-	if safe < 2 {
+// Intended for the owning thread; recycled items are credited to tid's
+// free list.
+func (m *Manager[T]) Prune(tid int) { m.prune(tid, tid) }
+
+// prune detaches and releases the reclaimable suffix of slot tid's
+// list. ctx is the slot id of the *pruning* thread (-1 when it has
+// none), which is where the Recycle hook banks reclaimed items.
+func (m *Manager[T]) prune(tid, ctx int) {
+	s := &m.slots[tid]
+	if !s.claim.CompareAndSwap(0, 1) {
+		// Another pruner holds this list's boundary; its pass covers it.
 		return
 	}
-	safe -= 2
+	defer s.claim.Store(0)
+
+	m.flushDeferred(s, ctx)
+
+	g := m.global.Load()
+	if g < 3 {
+		return
+	}
+	// Three-epoch margin, not classic EBR's two: nodes are retired before
+	// they are unlinked (scannability), so a tag can predate
+	// unreachability by one epoch. See the package comment.
+	safe := g - 3
 	min := core.Pending
 	if m.minRQ != nil {
 		min = m.minRQ()
 	}
-	s := &m.slots[tid]
+retry:
 	var prev *limboNode[T]
 	for n := s.head.Load(); n != nil; n = n.next.Load() {
 		if n.epoch <= safe && (m.retain == nil || !m.retain(n.item, min)) {
 			if prev == nil {
-				s.head.Store(nil)
+				// Detaching at the head races the owner's CAS push; on
+				// failure re-walk from the new head (the push only ever
+				// prepends, so the reclaimable suffix is still there).
+				if !s.head.CompareAndSwap(n, nil) {
+					goto retry
+				}
 			} else {
+				// Interior next pointers are written only under claim,
+				// and the owner's push touches only the head, so a plain
+				// detach cannot race anything.
 				prev.next.Store(nil)
 			}
+			dropped := int64(0)
+			for x := n; x != nil; x = x.next.Load() {
+				dropped++
+			}
 			if m.gc != nil {
-				// Count the detached suffix; the list is single-writer
-				// (this thread), so the walk is stable.
-				dropped := int64(0)
-				for x := n; x != nil; x = x.next.Load() {
-					dropped++
-				}
+				// The claim makes this pruner the sole accountant for the
+				// detached suffix, so the gauge cannot drift (the old
+				// overlapping-pruner double-decrement).
 				m.gc.LimboPruned.Add(uint64(dropped))
 				m.gc.LimboLen.Add(-dropped)
 			}
+			m.release(s, n, ctx)
 			return
 		}
 		prev = n
 	}
 }
 
+// release recycles a freshly detached chain, unless a limbo scan is in
+// flight — a scanner that loaded the head before the detach may still
+// be walking these very nodes, so handing them to the pool now would
+// let the scan observe recycled memory. Such chains park on the slot's
+// deferred list; flushDeferred recycles them once no scan is active.
+//
+// The ordering argument for the fast path: the detach (an atomic store
+// or CAS) precedes the scans load here; Go atomics are sequentially
+// consistent, so any scanner that was *not* counted at that load
+// increments scans — and then loads the list head — after the detach,
+// and cannot reach the detached chain.
+func (m *Manager[T]) release(s *slot[T], chain *limboNode[T], ctx int) {
+	if m.recycle == nil {
+		// No hook: pruning means dropping for the GC, which a scanner
+		// may safely keep reading until the chain is unreachable.
+		return
+	}
+	if m.scans.Load() != 0 {
+		tail := chain
+		for {
+			n := tail.next.Load()
+			if n == nil {
+				break
+			}
+			tail = n
+		}
+		tail.next.Store(s.deferred.Load())
+		s.deferred.Store(chain)
+		return
+	}
+	m.recycleChain(chain, ctx)
+}
+
+// flushDeferred hands a parked chain to the Recycle hook once no limbo
+// scan is active. Caller must hold the slot's claim.
+func (m *Manager[T]) flushDeferred(s *slot[T], ctx int) {
+	chain := s.deferred.Load()
+	if chain == nil || m.scans.Load() != 0 {
+		return
+	}
+	s.deferred.Store(nil)
+	m.recycleChain(chain, ctx)
+}
+
+// recycleChain walks a detached chain invoking the Recycle hook once
+// per item and returning the limbo wrappers to the shell pool. Without
+// a hook the chain is simply dropped for the GC.
+func (m *Manager[T]) recycleChain(chain *limboNode[T], ctx int) {
+	if m.recycle == nil {
+		return
+	}
+	var zero T
+	for n := chain; n != nil; {
+		next := n.next.Load()
+		m.recycle(n.item, ctx)
+		n.item = zero
+		n.epoch = 0
+		n.next.Store(nil)
+		m.wrappers.Put(n)
+		n = next
+	}
+}
+
 // ForEachRetired visits every item currently on any thread's limbo list.
 // It is safe to run concurrently with retirements and pruning; the
 // visitor may observe items being pruned concurrently (they are, by the
-// retention protocol, items no active range query needs). Returning
-// false stops the scan.
+// retention protocol, items no active range query needs) but never an
+// item already handed to a Recycle hook — the scan count defers
+// recycling while any walk is in flight. Returning false stops the
+// scan.
 func (m *Manager[T]) ForEachRetired(fn func(item T) bool) {
+	m.scans.Add(1)
+	defer m.scans.Add(-1)
 	for i := range m.slots {
 		for n := m.slots[i].head.Load(); n != nil; n = n.next.Load() {
 			if !fn(n.item) {

@@ -2,9 +2,11 @@ package epoch
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tscds/internal/core"
+	"tscds/internal/obs"
 )
 
 type item struct {
@@ -275,5 +277,196 @@ func TestConcurrentRetireAndScan(t *testing.T) {
 	wg.Wait()
 	if n := m.LimboLen(); n != 4*2000 {
 		t.Fatalf("retain-all kept %d items, want %d", n, 4*2000)
+	}
+}
+
+// Regression for the GC-stat accounting race: Drain/DrainAll used to
+// call Prune on lists whose owner was pruning concurrently, and both
+// passes could detach-and-count overlapping suffixes, so LimboLen
+// drifted (negative or overcounted) and retired/pruned disagreed. The
+// CAS-claimed prune boundary makes exactly one pruner the accountant
+// for each detached suffix; under concurrent churn the books must
+// balance exactly once everything drains.
+func TestLimboAccountingUnderConcurrentDrain(t *testing.T) {
+	const total = 60 * pruneInterval
+	m := NewManager[item](2, retainByDtime, func() core.TS { return core.Pending })
+	gc := &obs.GC{}
+	m.SetGC(gc)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // adversarial drainer racing the owner's amortized prunes
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.DrainAll()
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		m.Pin(0)
+		m.Retire(0, item{key: uint64(i), dtime: core.TS(i)})
+		m.Unpin(0)
+	}
+	close(done)
+	wg.Wait()
+
+	for i := 0; i < 2*drainRounds && m.LimboLen() > 0; i++ {
+		m.DrainAll()
+	}
+	if n := m.LimboLen(); n != 0 {
+		t.Fatalf("limbo did not drain: %d items left", n)
+	}
+	retired, pruned, lvl := gc.LimboRetired.Load(), gc.LimboPruned.Load(), gc.LimboLen.Load()
+	if retired != total {
+		t.Fatalf("retired = %d, want %d (a lost CAS push drops retirements)", retired, total)
+	}
+	if pruned != retired {
+		t.Fatalf("pruned = %d but retired = %d: suffix double- or under-counted", pruned, retired)
+	}
+	if lvl != 0 {
+		t.Fatalf("LimboLen gauge drifted to %d after full drain, want 0", lvl)
+	}
+}
+
+// Regression for DrainAll's single-writer violation, which recycling
+// turns from a stat bug into a double-free: with a Recycle hook
+// installed, a node must reach the hook exactly once no matter how
+// DrainAll races the owners' retires and amortized prunes. Run under
+// -race (make check does).
+func TestRecycleExactlyOnceUnderConcurrentDrain(t *testing.T) {
+	const threads = 4
+	const perThread = 3000
+	m := NewManager[*item](threads, nil, nil)
+	counts := make([]atomic.Int32, threads*perThread)
+	m.SetRecycle(func(it *item, tid int) {
+		if c := counts[it.key].Add(1); c > 1 {
+			t.Errorf("item %d recycled %d times (double-free)", it.key, c)
+		}
+	})
+
+	done := make(chan struct{})
+	var drainer sync.WaitGroup
+	drainer.Add(1)
+	go func() {
+		defer drainer.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.DrainAll()
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		workers.Add(1)
+		go func(tid int) {
+			defer workers.Done()
+			for i := 0; i < perThread; i++ {
+				m.Pin(tid)
+				m.Retire(tid, &item{key: uint64(tid*perThread + i)})
+				m.Unpin(tid)
+			}
+		}(tid)
+	}
+	workers.Wait()
+	close(done)
+	drainer.Wait()
+
+	for i := 0; i < 4*drainRounds; i++ {
+		m.DrainAll()
+	}
+	for k := range counts {
+		if c := counts[k].Load(); c != 1 {
+			t.Fatalf("item %d recycled %d times, want exactly 1", k, c)
+		}
+	}
+}
+
+// Regression for the scan/recycle window: a ForEachRetired walk that
+// loaded a list head before a prune detached it may still be reading
+// those nodes, so handing them to a pool mid-scan would let the scan
+// observe recycled memory. The manager must defer recycling until no
+// scan is active. The recycle hook poisons items, so without the scan
+// guard the blocked scanner below resumes into poisoned nodes and the
+// test fails.
+func TestForEachRetiredNeverObservesRecycled(t *testing.T) {
+	const total = 5
+	const poison = ^uint64(0)
+	m := NewManager[*item](1, nil, nil)
+	var recycled atomic.Int32
+	m.SetRecycle(func(it *item, tid int) {
+		it.key = poison
+		recycled.Add(1)
+	})
+	for i := 0; i < total; i++ {
+		m.Retire(0, &item{key: uint64(i)})
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		m.ForEachRetired(func(it *item) bool {
+			if first {
+				first = false
+				close(started)
+				<-release // park mid-scan while the drain below runs
+			}
+			if it.key == poison {
+				t.Error("limbo scan observed an item after it was recycled")
+			}
+			return true
+		})
+	}()
+
+	<-started
+	m.Drain(0) // advances epochs and detaches the whole list mid-scan
+	if n := recycled.Load(); n != 0 {
+		t.Fatalf("recycled %d items while a limbo scan was active", n)
+	}
+	close(release)
+	wg.Wait()
+
+	// With the scan gone, the parked chain must actually flush — deferral
+	// may not become a leak.
+	m.Drain(0)
+	if n := recycled.Load(); n != total {
+		t.Fatalf("deferred chain never recycled: %d of %d", n, total)
+	}
+}
+
+// Recycling must wait THREE epochs past a node's tag, not classic EBR's
+// two: nodes are retired before they are unlinked, so a reader pinned
+// one epoch past the tag can still acquire the node from the structure.
+// Regression test for a crash where a recycled skip-list node was
+// re-initialized at a lower level while such a reader was validating
+// through it.
+func TestRecycleWaitsThreeEpochs(t *testing.T) {
+	m := NewManager[item](2, nil, nil)
+	var recycled []uint64
+	m.SetRecycle(func(it item, tid int) { recycled = append(recycled, it.key) })
+	m.Retire(0, item{key: 7})
+	g0 := m.GlobalEpoch()
+	for m.GlobalEpoch() < g0+2 {
+		m.tryAdvance()
+	}
+	m.Prune(0)
+	if len(recycled) != 0 {
+		t.Fatalf("item recycled only two epochs past its tag: %v", recycled)
+	}
+	m.tryAdvance()
+	m.Prune(0)
+	if len(recycled) != 1 || recycled[0] != 7 {
+		t.Fatalf("item not recycled three epochs past its tag: %v", recycled)
 	}
 }

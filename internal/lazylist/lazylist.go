@@ -21,6 +21,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/vcas"
 )
 
@@ -47,6 +48,8 @@ type BundleList struct {
 	reg  *core.Registry
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[bnode]
+	ep   *pool.Pool[bundle.Entry[bnode]]
 	head *bnode
 }
 
@@ -67,6 +70,30 @@ func (t *BundleList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *BundleList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and bundle entries (see
+// Config.Alloc). The lazy list has no reclamation scheme — unlinked
+// nodes and truncated entry tails stay reachable to in-flight readers —
+// so pooling is allocation-side only (arena chunking, batching); nothing
+// published is recycled. Call before the list sees concurrent traffic.
+func (t *BundleList) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[bnode](t.reg.Cap(), mode, ps)
+	t.ep = pool.New[bundle.Entry[bnode]](t.reg.Cap(), mode, ps)
+}
+
+// newBnode allocates an insertable node, from the pool when configured.
+func (t *BundleList) newBnode(tid int, key, val uint64) *bnode {
+	if t.np == nil {
+		n := &bnode{key: key, val: val}
+		n.its.Store(uint64(core.Pending))
+		return n
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.its.Store(uint64(core.Pending))
+	n.dts.Store(0)
+	return n
+}
 
 // noteRetries reports an update's validation-failure retries.
 func (t *BundleList) noteRetries(th *core.Thread, retries uint64) {
@@ -132,13 +159,14 @@ func (t *BundleList) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		n := &bnode{key: key, val: val}
-		n.its.Store(uint64(core.Pending))
+		am := t.tr.Now()
+		n := t.newBnode(th.ID, key, val)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
 		n.next.Store(cur)
 		// The Prepare..Finalize window is bundling's labeling phase.
 		lb := t.tr.Now()
-		eInit := n.bnd.InitPending(cur)
-		ePred := pred.bnd.Prepare(n)
+		eInit := n.bnd.InitPendingIn(t.ep, th.ID, cur)
+		ePred := pred.bnd.PrepareIn(t.ep, th.ID, n)
 		pred.next.Store(n)
 		ts := t.src.Advance()
 		n.its.Store(ts)
@@ -179,7 +207,7 @@ func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
 			return false
 		}
 		lb := t.tr.Now()
-		ePred := pred.bnd.Prepare(cur.next.Load())
+		ePred := pred.bnd.PrepareIn(t.ep, th.ID, cur.next.Load())
 		ts := t.src.Advance()
 		cur.dts.Store(ts) // linearization
 		pred.bnd.Finalize(ePred, ts)
@@ -290,6 +318,9 @@ type VcasList struct {
 	reg  *core.Registry
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[vnode]
+	vp   *pool.Pool[vcas.Version[*vnode]]
+	bp   *pool.Pool[vcas.Version[bool]]
 	head *vnode
 }
 
@@ -308,6 +339,30 @@ func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and vCAS versions (see
+// Config.Alloc). As with the bundled variant, nothing published is ever
+// recycled — versions detached by Truncate stay readable to snapshot
+// readers — so the pools supply arena chunking and batching only. Call
+// before the list sees concurrent traffic.
+func (t *VcasList) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[vnode](t.reg.Cap(), mode, ps)
+	t.vp = pool.New[vcas.Version[*vnode]](t.reg.Cap(), mode, ps)
+	t.bp = pool.New[vcas.Version[bool]](t.reg.Cap(), mode, ps)
+}
+
+// newVnodeIn is newVnode drawing the node and its seed versions from the
+// pools when configured.
+func (t *VcasList) newVnodeIn(tid int, key, val uint64, next *vnode) *vnode {
+	if t.np == nil {
+		return newVnode(key, val, next)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.marked.InitIn(t.bp, tid, false)
+	n.next.InitIn(t.vp, tid, next)
+	return n
+}
 
 // noteRetries reports an update's validation-failure retries.
 func (t *VcasList) noteRetries(th *core.Thread, retries uint64) {
@@ -364,7 +419,10 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		pred.next.Write(t.src, newVnode(key, val, cur))
+		am := t.tr.Now()
+		n := t.newVnodeIn(th.ID, key, val, cur)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
+		pred.next.WriteIn(t.src, t.vp, th.ID, n)
 		t.maybeTruncate(pred, key)
 		pred.mu.Unlock()
 		t.noteRetries(th, retries)
@@ -395,8 +453,8 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 			t.noteRetries(th, retries)
 			return false
 		}
-		cur.marked.Write(t.src, true) // linearization
-		pred.next.Write(t.src, cur.next.Read(t.src))
+		cur.marked.WriteIn(t.src, t.bp, th.ID, true) // linearization
+		pred.next.WriteIn(t.src, t.vp, th.ID, cur.next.Read(t.src))
 		t.maybeTruncate(pred, key)
 		cur.mu.Unlock()
 		pred.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 )
 
 // This file hosts the EBR-RQ augmentation of the same EFRB external BST:
@@ -25,6 +26,15 @@ type enode struct {
 	leaf bool
 	// leaves only:
 	itime, dtime ebrrq.Label
+	// limboRefs counts limbo entries holding this leaf. A leaf can
+	// legitimately be retired more than once: a deleter retires before
+	// its flag CAS (scannable-before-unreachable), the attempt can fail
+	// with the leaf surviving, and a later delete — possibly by another
+	// thread that raced past the same dtime==Pending check — retires it
+	// again. With a Recycle hook each limbo entry eventually reports the
+	// leaf once, so the pool may take it only when the count hits zero;
+	// recycling on the first report would double-free the second entry.
+	limboRefs atomic.Int32
 	// internal nodes only:
 	left, right atomic.Pointer[enode]
 	update      atomicEUpdate
@@ -85,6 +95,7 @@ type EBRTree struct {
 	reg      *core.Registry
 	em       *epoch.Manager[*enode]
 	tr       *trace.Recorder
+	np       *pool.Pool[enode] // nil in GC mode
 	root     *enode
 }
 
@@ -120,6 +131,58 @@ func (t *EBRTree) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the tree sees concurrent traffic.
 func (t *EBRTree) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetAlloc switches node allocation to the pooled/arena facade and
+// recycles pruned limbo leaves back into it, gated by the per-leaf
+// limbo reference count (see enode.limboRefs). Only leaves ever enter
+// limbo; internal nodes are pool-*allocated* but reclaimed by the GC,
+// since nothing proves when the last helper drops a spliced-out
+// internal node. The eUpdateRec/eInsertInfo/eDeleteInfo records stay
+// heap-allocated on purpose: the EFRB protocol compares them by
+// pointer identity, so recycling them would reintroduce ABA on the
+// update-field CASes. Call before the tree sees traffic.
+func (t *EBRTree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[enode](t.reg.Cap(), mode, ps)
+	if t.np != nil {
+		t.em.SetRecycle(func(n *enode, tid int) {
+			if n.limboRefs.Add(-1) == 0 {
+				t.np.Put(tid, n)
+			}
+		})
+	}
+}
+
+// newLeaf acquires and fully re-initializes a leaf. One recycled node
+// may have served as an internal node before, so every discriminating
+// field is reset (leaf=true and fresh labels decide visibility).
+func (t *EBRTree) newLeaf(tid int, key, val uint64) *enode {
+	if t.np == nil {
+		return newELeaf(key, val)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val, n.leaf = key, val, true
+	n.itime.Init()
+	n.dtime.Init()
+	n.left.Store(nil)
+	n.right.Store(nil)
+	n.update.p.Store(nil)
+	return n
+}
+
+// newInternal is newLeaf's internal-node counterpart; leaf=false gates
+// every label read, so stale labels from a previous life as a leaf are
+// unreachable.
+func (t *EBRTree) newInternal(tid int, key uint64, l, r *enode) *enode {
+	if t.np == nil {
+		return newEInternal(key, l, r)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val, n.leaf = key, 0, false
+	n.left.Store(l)
+	n.right.Store(r)
+	n.update.p.Store(eCleanRec)
+	return n
+}
 
 // SetTrace wires the flight recorder (nil disables it) through the tree,
 // its timestamp provider (lock-wait/label spans) and its epoch manager
@@ -201,7 +264,9 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 	}
 	t.em.Pin(th.ID)
 	defer t.em.Unpin(th.ID)
-	nl := newELeaf(key, val)
+	amark := t.tr.Now()
+	nl := t.newLeaf(th.ID, key, val)
+	t.tr.Span(th.ID, trace.PhaseAlloc, amark)
 	var retries, helps uint64
 	for {
 		r := t.search(key)
@@ -218,6 +283,8 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 			// Help the racing insert linearize before failing against it.
 			t.provider.Label(&r.l.itime)
 			t.noteUpdate(th, retries, helps)
+			// nl was never published; it can go straight back.
+			t.np.Put(th.ID, nl)
 			return false
 		}
 		if r.pupdate.state != clean {
@@ -228,9 +295,9 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 		}
 		var ni *enode
 		if key < r.l.key {
-			ni = newEInternal(r.l.key, nl, r.l)
+			ni = t.newInternal(th.ID, r.l.key, nl, r.l)
 		} else {
-			ni = newEInternal(key, r.l, nl)
+			ni = t.newInternal(th.ID, key, r.l, nl)
 		}
 		op := &eInsertInfo{p: r.p, l: r.l, newInternal: ni, newLeaf: nl}
 		rec := &eUpdateRec{state: iflag, ins: op}
@@ -241,6 +308,9 @@ func (t *EBRTree) Insert(th *core.Thread, key, val uint64) bool {
 			return true
 		}
 		t.help(r.p.update.load())
+		// The flag CAS failed, so op was never installed and ni never
+		// became reachable; reuse it next attempt.
+		t.np.Put(th.ID, ni)
 		helps++
 		retries++
 	}
@@ -286,6 +356,9 @@ func (t *EBRTree) Delete(th *core.Thread, key uint64) bool {
 		// harmless — visibility is decided by its labels, not by limbo
 		// membership, and range queries deduplicate.
 		if !retired {
+			if t.np != nil {
+				r.l.limboRefs.Add(1)
+			}
 			t.em.Retire(th.ID, r.l)
 			retired = true
 		}

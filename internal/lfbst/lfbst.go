@@ -20,6 +20,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/vcas"
 )
 
@@ -109,6 +110,8 @@ type Tree struct {
 	reg  *core.Registry
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[node]
+	vp   *pool.Pool[vcas.Version[*node]]
 	root *node
 }
 
@@ -130,6 +133,50 @@ func (t *Tree) SetGC(g *obs.GC) { t.gc = g }
 // helping counts, range-query timestamp/traverse spans, and version-walk
 // lengths. Call before the tree sees concurrent traffic.
 func (t *Tree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for tree nodes and vCAS versions
+// (see Config.Alloc). The vCAS tree has no reclamation scheme — spliced-
+// out nodes and truncated version tails stay reachable to snapshot
+// readers — so only never-published memory (a leaf or internal node that
+// lost its CAS, a version that lost the head race) flows back; the pools
+// otherwise supply arena chunking and batching. updateRec descriptors
+// are deliberately NOT pooled: their pointer identity is what makes the
+// EFRB (state, info) CAS ABA-safe. Call before concurrent traffic.
+func (t *Tree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[node](t.reg.Cap(), mode, ps)
+	t.vp = pool.New[vcas.Version[*node]](t.reg.Cap(), mode, ps)
+}
+
+// newLeafIn is newLeaf drawing from the node pool. A pooled node may
+// have been an internal node in a previous life, so the discriminating
+// flag and the update field are reset; stale left/right version heads
+// are never read while leaf is true and are re-seeded by newInternalIn
+// if the node is later reused as an internal node.
+func (t *Tree) newLeafIn(tid int, key, val uint64) *node {
+	if t.np == nil {
+		return newLeaf(key, val)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.leaf = true
+	n.update.store(nil) // load() maps nil to cleanRec
+	return n
+}
+
+// newInternalIn is newInternal drawing the node and its two seed
+// versions from the pools.
+func (t *Tree) newInternalIn(tid int, key uint64, l, r *node) *node {
+	if t.np == nil {
+		return newInternal(key, l, r)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, 0
+	n.leaf = false
+	n.left.InitIn(t.vp, tid, l)
+	n.right.InitIn(t.vp, tid, r)
+	n.update.store(cleanRec)
+	return n
+}
 
 // noteUpdate flushes an update attempt's retry/help tallies to the
 // recorder (zero counts are dropped there).
@@ -185,16 +232,22 @@ func (t *Tree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxKey {
 		return false
 	}
-	nl := newLeaf(key, val)
+	am := t.tr.Now()
+	nl := t.newLeafIn(th.ID, key, val)
+	t.tr.Span(th.ID, trace.PhaseAlloc, am)
 	var retries, helps uint64
 	for {
 		r := t.search(key)
 		if r.l.key == key {
 			t.noteUpdate(th, retries, helps)
+			// nl was never published; hand it straight back.
+			if t.np != nil {
+				t.np.Put(th.ID, nl)
+			}
 			return false
 		}
 		if r.pupdate.state != clean {
-			t.help(r.pupdate)
+			t.help(r.pupdate, th.ID)
 			helps++
 			retries++
 			continue
@@ -202,20 +255,27 @@ func (t *Tree) Insert(th *core.Thread, key, val uint64) bool {
 		// Sibling order inside the new internal node.
 		var ni *node
 		if key < r.l.key {
-			ni = newInternal(r.l.key, nl, r.l)
+			ni = t.newInternalIn(th.ID, r.l.key, nl, r.l)
 		} else {
-			ni = newInternal(key, r.l, nl)
+			ni = t.newInternalIn(th.ID, key, r.l, nl)
 		}
 		op := &insertInfo{p: r.p, l: r.l, newInternal: ni}
 		rec := &updateRec{state: iflag, ins: op}
 		op.flag = rec
 		if r.p.update.cas(r.pupdate, rec) {
-			t.helpInsert(op)
+			t.helpInsert(op, th.ID)
 			t.maybeTruncate(r.p, key)
 			t.noteUpdate(th, retries, helps)
 			return true
 		}
-		t.help(r.p.update.load())
+		// The flag CAS lost, so ni (and its seed versions) were never
+		// published; recycle them before retrying.
+		if t.np != nil {
+			t.vp.Put(th.ID, ni.left.Head())
+			t.vp.Put(th.ID, ni.right.Head())
+			t.np.Put(th.ID, ni)
+		}
+		t.help(r.p.update.load(), th.ID)
 		helps++
 		retries++
 	}
@@ -234,13 +294,13 @@ func (t *Tree) Delete(th *core.Thread, key uint64) bool {
 			return false
 		}
 		if r.gpupdate.state != clean {
-			t.help(r.gpupdate)
+			t.help(r.gpupdate, th.ID)
 			helps++
 			retries++
 			continue
 		}
 		if r.pupdate.state != clean {
-			t.help(r.pupdate)
+			t.help(r.pupdate, th.ID)
 			helps++
 			retries++
 			continue
@@ -249,7 +309,7 @@ func (t *Tree) Delete(th *core.Thread, key uint64) bool {
 		rec := &updateRec{state: dflag, del: op}
 		op.flag = rec
 		if r.gp.update.cas(r.gpupdate, rec) {
-			if t.helpDelete(op) {
+			if t.helpDelete(op, th.ID) {
 				t.maybeTruncate(r.gp, key)
 				t.noteUpdate(th, retries, helps)
 				return true
@@ -257,48 +317,51 @@ func (t *Tree) Delete(th *core.Thread, key uint64) bool {
 			retries++
 			continue
 		}
-		t.help(r.gp.update.load())
+		t.help(r.gp.update.load(), th.ID)
 		helps++
 		retries++
 	}
 }
 
-func (t *Tree) help(u *updateRec) {
+// tid in the helping functions is the helping thread's slot (its own,
+// not the flagging thread's) and only routes pool allocations; -1 is
+// valid for callers without a slot.
+func (t *Tree) help(u *updateRec, tid int) {
 	switch u.state {
 	case iflag:
-		t.helpInsert(u.ins)
+		t.helpInsert(u.ins, tid)
 	case dflag:
-		t.helpDelete(u.del)
+		t.helpDelete(u.del, tid)
 	case mark:
-		t.helpMarked(u.del)
+		t.helpMarked(u.del, tid)
 	}
 }
 
-func (t *Tree) helpInsert(op *insertInfo) {
-	t.casChild(op.p, op.l, op.newInternal)
+func (t *Tree) helpInsert(op *insertInfo, tid int) {
+	t.casChild(op.p, op.l, op.newInternal, tid)
 	op.p.update.cas(op.flag, &updateRec{state: clean})
 }
 
-func (t *Tree) helpDelete(op *deleteInfo) bool {
+func (t *Tree) helpDelete(op *deleteInfo, tid int) bool {
 	markRec := &updateRec{state: mark, del: op}
 	if op.p.update.cas(op.pupdate, markRec) {
-		t.helpMarked(op)
+		t.helpMarked(op, tid)
 		return true
 	}
 	cur := op.p.update.load()
 	if cur.state == mark && cur.del == op {
 		// Another helper installed the mark; finish together.
-		t.helpMarked(op)
+		t.helpMarked(op, tid)
 		return true
 	}
 	// The parent changed under us: back out by unflagging the
 	// grandparent so the deleter retries.
-	t.help(cur)
+	t.help(cur, tid)
 	op.gp.update.cas(op.flag, &updateRec{state: clean})
 	return false
 }
 
-func (t *Tree) helpMarked(op *deleteInfo) {
+func (t *Tree) helpMarked(op *deleteInfo, tid int) {
 	// The parent is marked, so its children are frozen; splice the
 	// sibling of the deleted leaf into the grandparent.
 	var other *node
@@ -307,18 +370,18 @@ func (t *Tree) helpMarked(op *deleteInfo) {
 	} else {
 		other = right
 	}
-	t.casChild(op.gp, op.p, other)
+	t.casChild(op.gp, op.p, other, tid)
 	op.gp.update.cas(op.flag, &updateRec{state: clean})
 }
 
 // casChild performs the single structural CAS of an operation on the
 // appropriate routing edge — the vCAS write that receives the
 // operation's timestamp label.
-func (t *Tree) casChild(parent, old, new *node) bool {
+func (t *Tree) casChild(parent, old, new *node, tid int) bool {
 	if new.key < parent.key {
-		return parent.left.CompareAndSwap(t.src, old, new)
+		return parent.left.CompareAndSwapIn(t.src, t.vp, tid, old, new)
 	}
-	return parent.right.CompareAndSwap(t.src, old, new)
+	return parent.right.CompareAndSwapIn(t.src, t.vp, tid, old, new)
 }
 
 // maybeTruncate occasionally trims version chains near a completed

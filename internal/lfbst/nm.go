@@ -4,6 +4,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/vcas"
 )
 
@@ -63,6 +64,8 @@ type NMTree struct {
 	reg *core.Registry
 	gc  *obs.GC
 	tr  *trace.Recorder
+	np  *pool.Pool[nmNode]
+	ep  *pool.Pool[vcas.Version[edgeVal]]
 	r   *nmNode // sentinel root, key inf2
 	s   *nmNode // sentinel child, key inf1
 }
@@ -89,6 +92,43 @@ func (t *NMTree) SetGC(g *obs.GC) { t.gc = g }
 // behalf of another operation count as help. Call before the tree sees
 // concurrent traffic.
 func (t *NMTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for tree nodes and edge versions
+// (see Config.Alloc). As with the EFRB tree, nothing published is ever
+// recycled — only CAS losers and never-linked nodes flow back; the pools
+// otherwise supply arena chunking and batching. Call before concurrent
+// traffic.
+func (t *NMTree) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[nmNode](t.reg.Cap(), mode, ps)
+	t.ep = pool.New[vcas.Version[edgeVal]](t.reg.Cap(), mode, ps)
+}
+
+// nmLeafIn is nmLeaf drawing from the node pool. Stale child version
+// heads from a past internal life are never read while leaf is true and
+// are re-seeded by nmInternalIn on reuse as an internal node.
+func (t *NMTree) nmLeafIn(tid int, key, val uint64) *nmNode {
+	if t.np == nil {
+		return nmLeaf(key, val)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.leaf = true
+	return n
+}
+
+// nmInternalIn is nmInternal drawing the node and its two seed versions
+// from the pools.
+func (t *NMTree) nmInternalIn(tid int, key uint64, l, r *nmNode) *nmNode {
+	if t.np == nil {
+		return nmInternal(key, l, r)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, 0
+	n.leaf = false
+	n.child[0].InitIn(t.ep, tid, edgeVal{n: l})
+	n.child[1].InitIn(t.ep, tid, edgeVal{n: r})
+	return n
+}
 
 func (t *NMTree) noteUpdate(th *core.Thread, retries, helps uint64) {
 	if t.tr == nil {
@@ -154,35 +194,48 @@ func (t *NMTree) Insert(th *core.Thread, key, val uint64) bool {
 	if key > MaxNMKey {
 		return false
 	}
-	nl := nmLeaf(key, val)
+	am := t.tr.Now()
+	nl := t.nmLeafIn(th.ID, key, val)
+	t.tr.Span(th.ID, trace.PhaseAlloc, am)
 	var retries, helps uint64
 	for {
 		r := t.seek(key)
 		if r.leaf.key == key {
 			t.noteUpdate(th, retries, helps)
+			// nl was never published; hand it straight back.
+			if t.np != nil {
+				t.np.Put(th.ID, nl)
+			}
 			return false
 		}
 		if r.leafEdge.flag || r.leafEdge.tag {
-			t.cleanup(key, r) // help the pending delete, then retry
+			t.cleanup(key, r, th.ID) // help the pending delete, then retry
 			helps++
 			retries++
 			continue
 		}
 		var ni *nmNode
 		if key < r.leaf.key {
-			ni = nmInternal(r.leaf.key, nl, r.leaf)
+			ni = t.nmInternalIn(th.ID, r.leaf.key, nl, r.leaf)
 		} else {
-			ni = nmInternal(key, r.leaf, nl)
+			ni = t.nmInternalIn(th.ID, key, r.leaf, nl)
 		}
 		edge := &r.parent.child[nmDir(key, r.parent.key)]
-		if edge.CompareAndSwap(t.src, r.leafEdge, edgeVal{n: ni}) {
+		if edge.CompareAndSwapIn(t.src, t.ep, th.ID, r.leafEdge, edgeVal{n: ni}) {
 			t.maybeTruncate(r.parent, key)
 			t.noteUpdate(th, retries, helps)
 			return true
 		}
+		// The edge CAS lost, so ni (and its seed versions) were never
+		// published; recycle them before retrying.
+		if t.np != nil {
+			t.ep.Put(th.ID, ni.child[0].Head())
+			t.ep.Put(th.ID, ni.child[1].Head())
+			t.np.Put(th.ID, ni)
+		}
 		cur := edge.Read(t.src)
 		if cur.n == r.leaf && (cur.flag || cur.tag) {
-			t.cleanup(key, r)
+			t.cleanup(key, r, th.ID)
 			helps++
 		}
 		retries++
@@ -208,17 +261,17 @@ func (t *NMTree) Delete(th *core.Thread, key uint64) bool {
 				return false
 			}
 			if r.leafEdge.flag || r.leafEdge.tag {
-				t.cleanup(key, r) // another delete owns it; help and retry
+				t.cleanup(key, r, th.ID) // another delete owns it; help and retry
 				helps++
 				retries++
 				continue
 			}
 			edge := &r.parent.child[nmDir(key, r.parent.key)]
-			if edge.CompareAndSwap(t.src, r.leafEdge, edgeVal{n: r.leaf, flag: true}) {
+			if edge.CompareAndSwapIn(t.src, t.ep, th.ID, r.leafEdge, edgeVal{n: r.leaf, flag: true}) {
 				injected = true
 				leaf = r.leaf
 				r.leafEdge = edgeVal{n: r.leaf, flag: true}
-				if t.cleanup(key, r) {
+				if t.cleanup(key, r, th.ID) {
 					t.maybeTruncate(r.ancestor, key)
 					t.noteUpdate(th, retries, helps)
 					return true
@@ -231,7 +284,7 @@ func (t *NMTree) Delete(th *core.Thread, key uint64) bool {
 			t.noteUpdate(th, retries, helps)
 			return true // a helper finished the removal
 		}
-		if t.cleanup(key, r) {
+		if t.cleanup(key, r, th.ID) {
 			t.maybeTruncate(r.ancestor, key)
 			t.noteUpdate(th, retries, helps)
 			return true
@@ -244,8 +297,9 @@ func (t *NMTree) Delete(th *core.Thread, key uint64) bool {
 // sibling edge of the flagged side, then swing ancestor→successor to
 // the sibling (carrying the sibling edge's flag, so a delete pending on
 // the sibling leaf survives the move). Returns false when the tree moved
-// underneath and the caller must re-seek.
-func (t *NMTree) cleanup(key uint64, r seekRec) bool {
+// underneath and the caller must re-seek. tid is the cleaning thread's
+// own slot and only routes pool allocations.
+func (t *NMTree) cleanup(key uint64, r seekRec, tid int) bool {
 	parent := r.parent
 	dSide := nmDir(key, parent.key)
 	de := parent.child[dSide].Read(t.src)
@@ -263,7 +317,7 @@ func (t *NMTree) cleanup(key uint64, r seekRec) bool {
 	sEdge := &parent.child[sSide]
 	se := sEdge.Read(t.src)
 	if !se.tag {
-		if !sEdge.CompareAndSwap(t.src, se, edgeVal{n: se.n, flag: se.flag, tag: true}) {
+		if !sEdge.CompareAndSwapIn(t.src, t.ep, tid, se, edgeVal{n: se.n, flag: se.flag, tag: true}) {
 			se = sEdge.Read(t.src)
 			if !se.tag {
 				return false // sibling changed (e.g. an insert landed); re-seek
@@ -275,7 +329,7 @@ func (t *NMTree) cleanup(key uint64, r seekRec) bool {
 	// Swing the ancestor past the removed chunk; this is the delete's
 	// linearization point for readers and snapshots.
 	aEdge := &r.ancestor.child[nmDir(key, r.ancestor.key)]
-	return aEdge.CompareAndSwap(t.src,
+	return aEdge.CompareAndSwapIn(t.src, t.ep, tid,
 		edgeVal{n: r.successor},
 		edgeVal{n: se.n, flag: se.flag})
 }

@@ -292,6 +292,38 @@ func (g *GC) Snapshot() GCSnapshot {
 	}
 }
 
+// PoolStats counts allocator-facade traffic when a structure runs in
+// pooled or arena mode (Config.Alloc): Hits are allocations served from
+// a per-thread free list or arena chunk without touching the Go heap;
+// Misses fell through to the runtime allocator (cold free list, drained
+// sync.Pool, fresh arena chunk); Recycled counts retired nodes the epoch
+// machinery proved unreachable and handed back to a free list instead of
+// the GC. A nil *PoolStats disables reporting.
+type PoolStats struct {
+	Hits     Counter
+	Misses   Counter
+	Recycled Counter
+}
+
+// PoolSnapshot is a point-in-time copy of PoolStats.
+type PoolSnapshot struct {
+	// Mode is the allocation mode label ("GC", "Pool", "Arena"), set by
+	// whoever wires the stats to a pool.
+	Mode     string `json:"mode,omitempty"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Recycled uint64 `json:"recycled"`
+}
+
+// Snapshot copies the counters.
+func (p *PoolStats) Snapshot() PoolSnapshot {
+	return PoolSnapshot{
+		Hits:     p.Hits.Load(),
+		Misses:   p.Misses.Load(),
+		Recycled: p.Recycled.Load(),
+	}
+}
+
 // ShardStats counts one shard's share of a sharded map's traffic: Ops is
 // point operations (insert/delete/contains/get) routed to the shard by
 // the key partition; RQs is range-query collections that visited the
@@ -316,8 +348,10 @@ type Registry struct {
 	ops      [numOpClasses]Histogram
 	Source   SourceStats
 	GC       GC
+	Pool     PoolStats
 	kind     atomic.Pointer[string]
 	actual   atomic.Pointer[string]
+	alloc    atomic.Pointer[string]
 	shards   atomic.Pointer[[]*ShardStats]
 	strCache atomic.Pointer[stringCache]
 }
@@ -341,6 +375,11 @@ func (r *Registry) SetSourceKind(kind string) { r.kind.Store(&kind) }
 // differs from the requested kind (silent-fallback disclosure). Pass
 // the requested kind's label to clear.
 func (r *Registry) SetSourceActual(actual string) { r.actual.Store(&actual) }
+
+// SetAllocMode records the allocation-mode label ("Pool", "Arena")
+// reported with the pool stats in snapshots. Left unset, the pool
+// section is omitted (the structure allocates through the GC).
+func (r *Registry) SetAllocMode(mode string) { r.alloc.Store(&mode) }
 
 // EnsureShards sizes the per-shard stats table to at least n entries.
 // Call before the instrumented map sees traffic; existing entries (and
@@ -384,6 +423,9 @@ type Snapshot struct {
 	Source SourceSnapshot          `json:"source"`
 	Ops    map[string]HistSnapshot `json:"ops"`
 	GC     GCSnapshot              `json:"gc"`
+	// Pool is present only for registries wired to a pooled or arena
+	// allocator (SetAllocMode was called).
+	Pool *PoolSnapshot `json:"pool,omitempty"`
 	// Shards is present only for registries wired to a sharded map.
 	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
@@ -406,6 +448,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if a := r.actual.Load(); a != nil && (s.Source.Kind == "" || *a != s.Source.Kind) {
 		s.Source.Actual = *a
+	}
+	if m := r.alloc.Load(); m != nil {
+		ps := r.Pool.Snapshot()
+		ps.Mode = *m
+		s.Pool = &ps
 	}
 	for c := OpClass(0); c < numOpClasses; c++ {
 		s.Ops[c.String()] = r.ops[c].Snapshot()
@@ -478,6 +525,15 @@ func (s Snapshot) Summary() string {
 	if g := s.GC; g.BundleEntriesPruned+g.VcasVersionsPruned+g.LimboRetired > 0 {
 		fmt.Fprintf(&b, "  gc: %d bundle entries pruned, %d versions pruned, %d limbo retired (%d pruned, %d live)\n",
 			g.BundleEntriesPruned, g.VcasVersionsPruned, g.LimboRetired, g.LimboPruned, g.LimboLen)
+	}
+	if p := s.Pool; p != nil {
+		total := p.Hits + p.Misses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = 100 * float64(p.Hits) / float64(total)
+		}
+		fmt.Fprintf(&b, "  alloc %s: %d pool hits / %d misses (%.1f%% reuse), %d recycled\n",
+			p.Mode, p.Hits, p.Misses, hitPct, p.Recycled)
 	}
 	if len(s.Shards) > 0 {
 		fmt.Fprintf(&b, "  shards:")

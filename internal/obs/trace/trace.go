@@ -86,6 +86,12 @@ const (
 	// discarded attempt's duration, from taking the stale bound to the
 	// failed revalidation (span).
 	PhaseSourceSwitch
+	// PhaseAlloc is node/version/entry acquisition on the update path —
+	// a pooled Get (free-list pop, arena bump, or heap fallback) or the
+	// plain heap allocation in GC mode (span). Comparing its share
+	// across Config.Alloc modes is how the alloc figure attributes
+	// update-path time to the allocator.
+	PhaseAlloc
 
 	// NumPhases is the number of phases.
 	NumPhases
@@ -122,6 +128,8 @@ func (p Phase) String() string {
 		return "shard-fanout"
 	case PhaseSourceSwitch:
 		return "source-switch"
+	case PhaseAlloc:
+		return "alloc"
 	}
 	return "unknown"
 }
@@ -131,7 +139,7 @@ func (p Phase) String() string {
 func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseTraverse, PhaseTimestamp, PhaseLabel, PhaseLockWait, PhaseLimboScan,
-		PhaseShardFanout, PhaseSourceSwitch:
+		PhaseShardFanout, PhaseSourceSwitch, PhaseAlloc:
 		return true
 	}
 	return false

@@ -9,6 +9,7 @@ import (
 	"tscds/internal/epoch"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 )
 
 // This file implements the skip list + EBR-RQ combination the paper
@@ -41,6 +42,7 @@ type EBRList struct {
 	reg      *core.Registry
 	em       *epoch.Manager[*eskipNode]
 	tr       *trace.Recorder
+	np       *pool.Pool[eskipNode] // nil in GC mode
 	head     *eskipNode
 	rngs     []core.PaddedUint64
 }
@@ -79,6 +81,44 @@ func (t *EBRList) Source() core.Source { return t.src }
 // SetGC wires limbo-list reporting to g (nil disables it). Call before
 // the list sees concurrent traffic.
 func (t *EBRList) SetGC(g *obs.GC) { t.em.SetGC(g) }
+
+// SetAlloc switches node allocation to the pooled/arena facade and —
+// this being an EBR structure, where every traversal is pinned and the
+// two-epoch prune margin therefore proves unreachability — closes the
+// loop: pruned limbo nodes are recycled into the pool's free lists
+// instead of dropped for the GC. Call before the list sees traffic.
+func (t *EBRList) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[eskipNode](t.reg.Cap(), mode, ps)
+	if t.np != nil {
+		t.em.SetRecycle(func(n *eskipNode, tid int) { t.np.Put(tid, n) })
+	}
+}
+
+// newNode acquires and fully re-initializes a node. Recycled memory
+// carries stale state, and two resets are load-bearing: linked=false
+// (Delete refuses to label a node whose insert has not fully linked —
+// a recycled true would let a deleter label dtime before itime) and
+// the label Inits (stale labels would make the node spuriously visible
+// or invisible to snapshots). The level array keeps its maxLevel
+// backing across reuses; Insert stores every in-range level before
+// publication, so stale pointers are overwritten while still private.
+func (t *EBRList) newNode(tid int, key, val uint64, topLevel int) *eskipNode {
+	if t.np == nil {
+		return newEskipNode(key, val, topLevel)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.topLevel = topLevel
+	n.itime.Init()
+	n.dtime.Init()
+	n.linked.Store(false)
+	if cap(n.next) >= topLevel {
+		n.next = n.next[:topLevel]
+	} else {
+		n.next = make([]atomic.Pointer[eskipNode], maxLevel)[:topLevel]
+	}
+	return n
+}
 
 // SetTrace attaches a flight recorder to the list, its labeling provider
 // (lock-wait and label spans) and its epoch manager (pin/advance stalls).
@@ -176,8 +216,12 @@ func (t *EBRList) Get(th *core.Thread, key uint64) (uint64, bool) {
 	return 0, false
 }
 
-func eLockPreds(preds *[maxLevel]*eskipNode, top int) func() {
-	var locked [maxLevel]*eskipNode
+// eLockPreds locks the distinct predecessors of levels [0, top) into the
+// caller-provided locked array and returns how many it took; eUnlockPreds
+// releases them. The caller owns both arrays on its stack — the split
+// (rather than returning an unlock closure) keeps the hot update path
+// allocation-free.
+func eLockPreds(preds, locked *[maxLevel]*eskipNode, top int) int {
 	n := 0
 	var prev *eskipNode
 	for l := 0; l < top; l++ {
@@ -188,10 +232,12 @@ func eLockPreds(preds *[maxLevel]*eskipNode, top int) func() {
 			prev = preds[l]
 		}
 	}
-	return func() {
-		for i := 0; i < n; i++ {
-			locked[i].mu.Unlock()
-		}
+	return n
+}
+
+func eUnlockPreds(locked *[maxLevel]*eskipNode, n int) {
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
 	}
 }
 
@@ -219,7 +265,8 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 			t.noteRetries(th, retries)
 			return false
 		}
-		unlock := eLockPreds(&preds, topLevel)
+		var locked [maxLevel]*eskipNode
+		nl := eLockPreds(&preds, &locked, topLevel)
 		valid := true
 		for l := 0; l < topLevel; l++ {
 			succ := succs[l]
@@ -231,11 +278,13 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 			}
 		}
 		if !valid {
-			unlock()
+			eUnlockPreds(&locked, nl)
 			retries++
 			continue
 		}
-		n := newEskipNode(key, val, topLevel)
+		mark := t.tr.Now()
+		n := t.newNode(th.ID, key, val, topLevel)
+		t.tr.Span(th.ID, trace.PhaseAlloc, mark)
 		for l := 0; l < topLevel; l++ {
 			n.next[l].Store(succs[l])
 		}
@@ -245,7 +294,7 @@ func (t *EBRList) Insert(th *core.Thread, key, val uint64) bool {
 			preds[l].next[l].Store(n)
 		}
 		n.linked.Store(true)
-		unlock()
+		eUnlockPreds(&locked, nl)
 		t.noteRetries(th, retries)
 		return true
 	}
@@ -277,7 +326,8 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 	t.provider.Label(&victim.dtime)
 	var retries uint64
 	for {
-		unlock := eLockPreds(&preds, victim.topLevel)
+		var locked [maxLevel]*eskipNode
+		nl := eLockPreds(&preds, &locked, victim.topLevel)
 		valid := true
 		for l := 0; l < victim.topLevel; l++ {
 			if (preds[l] != t.head && !eAlive(preds[l])) ||
@@ -290,12 +340,12 @@ func (t *EBRList) Delete(th *core.Thread, key uint64) bool {
 			for l := victim.topLevel - 1; l >= 0; l-- {
 				preds[l].next[l].Store(victim.next[l].Load())
 			}
-			unlock()
+			eUnlockPreds(&locked, nl)
 			victim.mu.Unlock()
 			t.noteRetries(th, retries)
 			return true
 		}
-		unlock()
+		eUnlockPreds(&locked, nl)
 		retries++
 		t.find(key, &preds, &succs)
 	}

@@ -29,6 +29,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 )
 
 // maxLevel supports ~2^20 keys with p = 1/2.
@@ -64,6 +65,8 @@ type List struct {
 	reg  *core.Registry
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[node]
+	ep   *pool.Pool[bundle.Entry[node]]
 	head *node
 	rngs []core.PaddedUint64 // per-thread xorshift state for level draws
 }
@@ -92,6 +95,42 @@ func (t *List) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *List) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and bundle entries (see
+// Config.Alloc). The bundled list has no reclamation scheme for nodes —
+// unlinked nodes and truncated entry tails stay reachable to in-flight
+// readers and are dropped to the GC — so pooling here is allocation-side
+// only: arena chunking and sync.Pool batching, never recycling of
+// published memory. Call before the list sees concurrent traffic.
+func (t *List) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[node](t.reg.Cap(), mode, ps)
+	t.ep = pool.New[bundle.Entry[node]](t.reg.Cap(), mode, ps)
+}
+
+// newNodeIn is newNode drawing from the node pool when one is configured.
+// Nodes are never Put back (no reclamation), so pooled memory is always
+// fresh from an arena chunk or the allocator; the reset mirrors newNode
+// regardless, keeping the constructor correct if recycling is ever added.
+func (t *List) newNodeIn(tid int, key, val uint64, topLevel int) *node {
+	if t.np == nil {
+		return newNode(key, val, topLevel)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.topLevel = topLevel
+	n.its.Store(uint64(core.Pending))
+	n.dts.Store(0)
+	n.fullyLinked.Store(false)
+	if cap(n.next) >= topLevel {
+		n.next = n.next[:topLevel]
+		for l := range n.next {
+			n.next[l].Store(nil)
+		}
+	} else {
+		n.next = make([]atomic.Pointer[node], topLevel)
+	}
+	return n
+}
 
 // noteRetries reports an update's validation-failure retries.
 func (t *List) noteRetries(th *core.Thread, retries uint64) {
@@ -237,14 +276,16 @@ func (t *List) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		n := newNode(key, val, topLevel)
+		am := t.tr.Now()
+		n := t.newNodeIn(th.ID, key, val, topLevel)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
 		for l := 0; l < topLevel; l++ {
 			n.next[l].Store(succs[l])
 		}
 		// The Prepare..Finalize window is bundling's labeling phase.
 		lb := t.tr.Now()
-		eInit := n.bnd.InitPending(succs[0])
-		ePred := preds[0].bnd.Prepare(n)
+		eInit := n.bnd.InitPendingIn(t.ep, th.ID, succs[0])
+		ePred := preds[0].bnd.PrepareIn(t.ep, th.ID, n)
 		preds[0].next[0].Store(n)
 		ts := t.src.Advance()
 		n.its.Store(ts) // label first: contains agrees with snapshots
@@ -294,7 +335,7 @@ func (t *List) Delete(th *core.Thread, key uint64) bool {
 		}
 		if valid {
 			lb := t.tr.Now()
-			ePred := preds[0].bnd.Prepare(victim.next[0].Load())
+			ePred := preds[0].bnd.PrepareIn(t.ep, th.ID, victim.next[0].Load())
 			ts := t.src.Advance()
 			victim.dts.Store(ts) // linearization of the delete
 			preds[0].bnd.Finalize(ePred, ts)

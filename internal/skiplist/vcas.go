@@ -8,6 +8,7 @@ import (
 	"tscds/internal/core"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/vcas"
 )
 
@@ -58,6 +59,9 @@ type VcasList struct {
 	reg  *core.Registry
 	gc   *obs.GC
 	tr   *trace.Recorder
+	np   *pool.Pool[vskipNode]
+	vp   *pool.Pool[vcas.Version[*vskipNode]]
+	bp   *pool.Pool[vcas.Version[bool]]
 	head *vskipNode
 	rngs []core.PaddedUint64
 }
@@ -85,6 +89,37 @@ func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetAlloc selects the allocation mode for nodes and vCAS versions (see
+// Config.Alloc). Versions detached by Truncate stay readable to snapshot
+// readers holding chain pointers, and unlinked nodes have no reclamation
+// scheme, so nothing published is ever recycled here — the pools provide
+// arena chunking and batching only. Call before concurrent traffic.
+func (t *VcasList) SetAlloc(mode pool.Mode, ps *obs.PoolStats) {
+	t.np = pool.New[vskipNode](t.reg.Cap(), mode, ps)
+	t.vp = pool.New[vcas.Version[*vskipNode]](t.reg.Cap(), mode, ps)
+	t.bp = pool.New[vcas.Version[bool]](t.reg.Cap(), mode, ps)
+}
+
+// newVskipNodeIn is newVskipNode drawing from the node pool when one is
+// configured. next0 is left uninitialized: Insert always re-seeds it with
+// the real successor, and seeding twice would waste a pooled version.
+func (t *VcasList) newVskipNodeIn(tid int, key, val uint64, topLevel int) *vskipNode {
+	if t.np == nil {
+		return newVskipNode(key, val, topLevel)
+	}
+	n := t.np.Get(tid)
+	n.key, n.val = key, val
+	n.topLevel = topLevel
+	n.linked.Store(false)
+	n.dead.InitIn(t.bp, tid, true) // not yet in any snapshot
+	if topLevel > 1 {
+		n.upper = make([]atomic.Pointer[vskipNode], topLevel-1)
+	} else {
+		n.upper = nil
+	}
+	return n
+}
 
 // noteRetries reports an update's validation-failure retries.
 func (t *VcasList) noteRetries(th *core.Thread, retries uint64) {
@@ -216,15 +251,17 @@ func (t *VcasList) Insert(th *core.Thread, key, val uint64) bool {
 			retries++
 			continue
 		}
-		n := newVskipNode(key, val, topLevel)
-		n.next0.Init(succs[0])
+		am := t.tr.Now()
+		n := t.newVskipNodeIn(th.ID, key, val, topLevel)
+		t.tr.Span(th.ID, trace.PhaseAlloc, am)
+		n.next0.InitIn(t.vp, th.ID, succs[0])
 		for l := 1; l < topLevel; l++ {
 			n.upper[l-1].Store(succs[l])
 		}
 		// Liveness first, then reachability: a snapshot that can reach
 		// the node always sees it alive at that bound.
-		n.dead.Write(t.src, false)
-		preds[0].next0.Write(t.src, n)
+		n.dead.WriteIn(t.src, t.bp, th.ID, false)
+		preds[0].next0.WriteIn(t.src, t.vp, th.ID, n)
 		for l := 1; l < topLevel; l++ {
 			preds[l].upper[l-1].Store(n)
 		}
@@ -252,7 +289,7 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 		victim.mu.Unlock()
 		return false
 	}
-	victim.dead.Write(t.src, true) // linearization of the delete
+	victim.dead.WriteIn(t.src, t.bp, th.ID, true) // linearization of the delete
 	var retries uint64
 	for {
 		unlock := vLockPreds(&preds, victim.topLevel)
@@ -268,7 +305,7 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 			for l := victim.topLevel - 1; l >= 1; l-- {
 				preds[l].upper[l-1].Store(victim.nextAt(l))
 			}
-			preds[0].next0.Write(t.src, victim.next0.Read(t.src))
+			preds[0].next0.WriteIn(t.src, t.vp, th.ID, victim.next0.Read(t.src))
 			t.maybeTruncate(preds[0], key)
 			unlock()
 			victim.mu.Unlock()

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"tscds/internal/core"
+	"tscds/internal/pool"
 )
 
 // Version is one entry in an Object's history.
@@ -45,9 +46,24 @@ type Object[V comparable] struct {
 // Init sets the initial value with label 0 ("before every snapshot").
 // The enclosing node must be published only after Init, as usual for
 // lock-free initialization.
-func (o *Object[V]) Init(val V) {
-	v := &Version[V]{val: val}
+func (o *Object[V]) Init(val V) { o.InitIn(nil, -1, val) }
+
+// InitIn is Init drawing the version from p (Config.Alloc pooled/arena
+// modes; a nil p allocates through the GC). Versions acquired from a
+// pool may be recycled memory, so every field is reset here before the
+// version becomes reachable.
+//
+// Note the asymmetry with node pooling: versions handed to readers stay
+// reachable through the chain even after Truncate detaches them (see
+// Truncate), so version memory is never recycled from the truncation
+// path — the pool only batches and reuses *unpublished* versions (a
+// CAS loser's allocation) and amortizes fresh ones through arena
+// chunks.
+func (o *Object[V]) InitIn(p *pool.Pool[Version[V]], tid int, val V) {
+	v := p.Get(tid)
+	v.val = val
 	v.ts.Store(0)
+	v.prev.Store(nil)
 	o.head.Store(v)
 }
 
@@ -80,19 +96,39 @@ func (o *Object[V]) Read(src core.Source) V {
 // winners are ordered by the head CAS, and a failed installer helps
 // label the version that beat it.
 func (o *Object[V]) CompareAndSwap(src core.Source, old, new V) bool {
+	return o.CompareAndSwapIn(src, nil, -1, old, new)
+}
+
+// CompareAndSwapIn is CompareAndSwap drawing the new version from p
+// (nil p allocates through the GC). A version that loses the head CAS
+// race or turns out unnecessary was never published, so it is returned
+// to the pool rather than dropped.
+func (o *Object[V]) CompareAndSwapIn(src core.Source, p *pool.Pool[Version[V]], tid int, old, new V) bool {
+	var nv *Version[V]
 	for {
 		h := o.head.Load()
 		label(src, h)
 		if h.val != old {
+			if nv != nil {
+				nv.prev.Store(nil)
+				p.Put(tid, nv)
+			}
 			return false
 		}
 		if old == new {
 			// No-op writes need no new version; the labeled head
 			// already represents the value.
+			if nv != nil {
+				nv.prev.Store(nil)
+				p.Put(tid, nv)
+			}
 			return true
 		}
-		nv := &Version[V]{val: new}
-		nv.ts.Store(core.Pending)
+		if nv == nil {
+			nv = p.Get(tid)
+			nv.val = new
+			nv.ts.Store(core.Pending)
+		}
 		nv.prev.Store(h)
 		if o.head.CompareAndSwap(h, nv) {
 			label(src, nv)
@@ -104,13 +140,18 @@ func (o *Object[V]) CompareAndSwap(src core.Source, old, new V) bool {
 // Write unconditionally installs a new value (for lock-based structures,
 // where the caller's locks serialize writers; readers may still help
 // label concurrently).
-func (o *Object[V]) Write(src core.Source, new V) {
+func (o *Object[V]) Write(src core.Source, new V) { o.WriteIn(src, nil, -1, new) }
+
+// WriteIn is Write drawing the new version from p (nil p allocates
+// through the GC).
+func (o *Object[V]) WriteIn(src core.Source, p *pool.Pool[Version[V]], tid int, new V) {
 	h := o.head.Load()
 	label(src, h)
 	if h.val == new {
 		return
 	}
-	nv := &Version[V]{val: new}
+	nv := p.Get(tid)
+	nv.val = new
 	nv.ts.Store(core.Pending)
 	nv.prev.Store(h)
 	o.head.Store(nv)

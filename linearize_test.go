@@ -78,6 +78,43 @@ func TestLinearizability(t *testing.T) {
 			t.Logf("%s", h.Summary())
 		})
 	}
+
+	// Pooled-allocation cells: one representative structure per
+	// technique, rechecked with nodes served from recycled memory. A
+	// node recycled too early, or a constructor that forgets to reset a
+	// field, shows up here as a history with no sequential witness.
+	pooled := []linTriple{
+		{tscds.BST, tscds.VCAS, tscds.Logical},
+		{tscds.Citrus, tscds.Bundle, tscds.TSC},
+		{tscds.SkipList, tscds.EBRRQ, tscds.TSC},
+		{tscds.SkipList, tscds.EBRRQLockFree, tscds.Logical},
+	}
+	for _, tr := range pooled {
+		tr := tr
+		name := fmt.Sprintf("%v-%v-%v-Pool", tr.S, tr.T, tr.Src)
+		name = strings.ReplaceAll(name, " ", "_")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := linearize.Config{Seed: *linSeed, Workers: 4, Ops: 2500}
+			if testing.Short() {
+				cfg.Ops = 500
+			}
+			m, err := tscds.New(tr.S, tr.T, tscds.Config{
+				Source:     tr.Src,
+				MaxThreads: cfg.Workers + 1,
+				Alloc:      tscds.AllocPool,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := linearize.RunAndCheck(m, cfg)
+			if err != nil {
+				t.Fatalf("%v\nreproduce: go test -race -run 'TestLinearizability/%s' . -linearize.seed=%d",
+					err, name, cfg.Seed)
+			}
+			t.Logf("%s", h.Summary())
+		})
+	}
 }
 
 // TestLinearizabilityAdaptiveSwitch is the adaptive source's correctness

@@ -131,11 +131,11 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 		if sh.provs != nil {
 			sh.provs[i] = m.(provided).Provider()
 		}
-		if cfg.Metrics != nil {
-			if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
-				g.SetGC(&cfg.Metrics.GC)
-			}
-		}
+		// Per-shard sinks: GC counters and allocation mode, but never the
+		// recorder (its rings are single-writer per thread, which
+		// per-shard handles do not guarantee). Pool stats aggregate
+		// across shards like the GC counters do.
+		wireSinks(m, cfg.Metrics, nil, cfg.Alloc)
 	}
 	var tr *trace.Recorder
 	if cfg.Trace != nil {

@@ -46,6 +46,7 @@ import (
 	"tscds/internal/lfbst"
 	"tscds/internal/obs"
 	"tscds/internal/obs/trace"
+	"tscds/internal/pool"
 	"tscds/internal/skiplist"
 	"tscds/internal/tsc"
 )
@@ -144,6 +145,28 @@ func (t Technique) String() string {
 	return "unknown"
 }
 
+// AllocMode selects how a Map allocates its nodes, versions and bundle
+// entries; see Config.Alloc.
+type AllocMode = pool.Mode
+
+// Allocation modes.
+const (
+	// AllocGC allocates everything through the Go runtime (the default).
+	// Retired memory is dropped for the collector.
+	AllocGC = pool.ModeGC
+	// AllocPool serves allocations from per-thread free lists. On EBR-RQ
+	// maps the free lists are fed by the epoch manager's prune points —
+	// retired nodes flow retire -> limbo -> free list -> next Insert; on
+	// vCAS and Bundle maps (whose detached versions and entries stay
+	// reachable to in-flight snapshot readers and so are never recycled)
+	// the pool batches and reuses never-published allocations only.
+	AllocPool = pool.ModePool
+	// AllocArena is AllocPool plus bump allocation from per-thread arena
+	// chunks on free-list misses, batching heap traffic and improving
+	// locality of nodes allocated together.
+	AllocArena = pool.ModeArena
+)
+
 // Config parameterizes New.
 type Config struct {
 	// Source selects the timestamp implementation (default Logical).
@@ -163,6 +186,13 @@ type Config struct {
 	// (the default) keeps every instrumentation point at one pointer
 	// test; see TestTraceDisabledNoAllocs.
 	Trace *TraceConfig
+	// Alloc selects the allocation mode for the Map's internal memory
+	// (default AllocGC). AllocPool and AllocArena route node, version and
+	// bundle-entry allocations through per-thread pools; on EBR-RQ maps
+	// the pools are additionally fed by epoch reclamation, closing the
+	// retire->reuse loop. Pool hit/miss/recycle counters appear on
+	// Config.Metrics snapshots when both are set.
+	Alloc AllocMode
 	// Health wires a TSC health monitor into an Adaptive source: its
 	// Degraded flag drives failover, and it receives switch telemetry
 	// (visible on its JSON snapshot / a /tschealth endpoint). Ignored by
@@ -327,7 +357,7 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
 	}
 	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr}
-	wireSinks(m, cfg.Metrics, tr)
+	wireSinks(m, cfg.Metrics, tr, cfg.Alloc)
 	return w, nil
 }
 
@@ -341,9 +371,10 @@ func newSource(cfg Config) core.Source {
 	return core.New(cfg.Source)
 }
 
-// wireSinks attaches the metrics GC counters and the flight recorder to
-// an inner that supports them. Call before the structure sees traffic.
-func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder) {
+// wireSinks attaches the metrics GC counters, the flight recorder and
+// the allocation mode to an inner that supports them. Call before the
+// structure sees traffic.
+func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder, alloc AllocMode) {
 	if metrics != nil {
 		if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
 			g.SetGC(&metrics.GC)
@@ -352,6 +383,18 @@ func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder) {
 	if tr != nil {
 		if st, ok := m.(interface{ SetTrace(*trace.Recorder) }); ok {
 			st.SetTrace(tr)
+		}
+	}
+	if alloc != AllocGC {
+		if a, ok := m.(interface {
+			SetAlloc(pool.Mode, *obs.PoolStats)
+		}); ok {
+			var ps *obs.PoolStats
+			if metrics != nil {
+				ps = &metrics.Pool
+				metrics.SetAllocMode(alloc.String())
+			}
+			a.SetAlloc(alloc, ps)
 		}
 	}
 }
