@@ -5,6 +5,7 @@
 //	rqbench -fig 2 -mode sim
 //	rqbench -fig 3 -mode native -threads 1,2,4 -duration 500ms -trials 3
 //	rqbench -fig lazy -mode native -keyrange 2000
+//	rqbench -fig durability -threads 1,2,4 -sync-every 0,1,64
 //
 // Native mode follows the paper's setup: structures prefilled to half of
 // the key range (default 1,000,000), 100-key range queries, uniform
@@ -16,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -150,6 +153,44 @@ func benchOptions(opts bench.Options, a arm, src tscds.SourceKind) bench.Options
 	return opts
 }
 
+// writeBenchFile atomically publishes a BENCH_*.json artifact: the
+// bytes land in a temp file in the destination directory, reach the
+// disk, and are renamed into place — a crash or full disk mid-write
+// can no longer leave a truncated artifact that downstream validation
+// (CI's python checks) half-parses. Failures are fatal: a bench run
+// whose artifact did not land must not exit 0.
+func writeBenchFile(path string, b []byte) {
+	err := func() error {
+		dir := filepath.Dir(path)
+		f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		tmp := f.Name()
+		if _, err = f.Write(b); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			_ = os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			_ = os.Remove(tmp)
+			return err
+		}
+		return nil
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rqbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
 // metricSample is one -metrics-interval observation.
 type metricSample struct {
 	Label     string          `json:"label"`
@@ -194,13 +235,11 @@ func (sm *sampler) write(path string) {
 		return
 	}
 	b, err := json.MarshalIndent(sm.samples, "", " ")
-	if err == nil {
-		err = os.WriteFile(path, append(b, '\n'), 0o644)
-	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "metrics series: %v\n", err)
-		return
+		fmt.Fprintf(os.Stderr, "rqbench: writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
+	writeBenchFile(path, append(b, '\n'))
 	fmt.Printf("metrics-series: wrote %d samples to %s\n", len(sm.samples), path)
 }
 
@@ -444,13 +483,11 @@ func runAdaptiveFigure(threads []int, wl bench.Workload, duration time.Duration,
 			wl.Label(), trials, duration, injectEvery),
 		threads, results))
 	b, err := json.MarshalIndent(records, "", " ")
-	if err == nil {
-		err = os.WriteFile("BENCH_adaptive.json", append(b, '\n'), 0o644)
-	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "BENCH_adaptive.json: %v\n", err)
-		return
+		fmt.Fprintf(os.Stderr, "rqbench: writing BENCH_adaptive.json: %v\n", err)
+		os.Exit(1)
 	}
+	writeBenchFile("BENCH_adaptive.json", append(b, '\n'))
 	fmt.Printf("adaptive: wrote %d arm records to BENCH_adaptive.json\n", len(records))
 }
 
@@ -559,18 +596,180 @@ func runAllocFigure(threads []int, wl bench.Workload, duration time.Duration, tr
 			wl.Label(), trials, duration),
 		[]int{n}, results))
 	b, err := json.MarshalIndent(records, "", " ")
-	if err == nil {
-		err = os.WriteFile("BENCH_alloc.json", append(b, '\n'), 0o644)
-	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "BENCH_alloc.json: %v\n", err)
-		return
+		fmt.Fprintf(os.Stderr, "rqbench: writing BENCH_alloc.json: %v\n", err)
+		os.Exit(1)
 	}
+	writeBenchFile("BENCH_alloc.json", append(b, '\n'))
 	fmt.Printf("alloc: wrote %d arm records to BENCH_alloc.json\n", len(records))
 }
 
+// parseSyncSweep parses the -sync-every list ("0,1,64") into the
+// durability figure's SyncEvery arms; 0 means the WAL stays off.
+func parseSyncSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -sync-every entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sync-every: empty sweep")
+	}
+	return out, nil
+}
+
+// durabilityRecord is one BENCH_durability.json entry: a durability
+// mode's throughput at one thread count next to the WAL's group-commit
+// telemetry over exactly that run (counter deltas, not totals, so the
+// prefill and other thread counts don't pollute the point).
+type durabilityRecord struct {
+	Label           string  `json:"label"`
+	SyncEvery       int     `json:"sync_every"`
+	Source          string  `json:"source"`
+	Threads         int     `json:"threads"`
+	Mops            float64 `json:"mops"`
+	Appends         uint64  `json:"wal_appends,omitempty"`
+	Batches         uint64  `json:"wal_batches,omitempty"`
+	Fsyncs          uint64  `json:"wal_fsyncs,omitempty"`
+	RecordsPerBatch float64 `json:"records_per_batch,omitempty"`
+	RecordsPerFsync float64 `json:"records_per_fsync,omitempty"`
+	SnapshotFlushes uint64  `json:"snapshot_flushes,omitempty"`
+	SnapshotKeys    uint64  `json:"snapshot_keys,omitempty"`
+}
+
+// runDurabilityFigure regenerates the durability arm: the same
+// update-heavy vCAS BST measured with the WAL off, in fully-durable
+// sync mode (SyncEvery 1: every ack waits for an fsync covering its
+// record), and in batched mode (SyncEvery from the sweep: ack after
+// the buffered append, bounded loss) — each under the Logical and TSC
+// sources. The interesting read is the group-commit amortization:
+// sync mode's fsync count falls well below its append count as
+// threads grow (concurrent updaters share fsyncs), which is why the
+// sync column's scaling is less catastrophic than one-fsync-per-op
+// arithmetic predicts. Each arm also flushes one explicit Checkpoint
+// so snapshot cost is on record. Results land in
+// BENCH_durability.json.
+func runDurabilityFigure(threads []int, wl bench.Workload, duration time.Duration, trials int, sweep []int) {
+	results := map[string][]bench.Result{}
+	var records []durabilityRecord
+	for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+		for _, se := range sweep {
+			name := "vCAS"
+			switch {
+			case se <= 0:
+				name += "-WAL-off"
+			case se == 1:
+				name += "-WAL-sync"
+			default:
+				name += fmt.Sprintf("-WAL-batched%d", se)
+			}
+			if src == tscds.TSC {
+				name += "-RDTSCP"
+			}
+			// Metrics are always on for this figure: the WAL counters are
+			// part of what it reports.
+			cfg := tscds.Config{Source: src, MaxThreads: 512, Metrics: tscds.NewMetrics()}
+			if traceOn {
+				cfg.Trace = &tscds.TraceConfig{}
+			}
+			var dir string
+			if se > 0 {
+				var err error
+				dir, err = os.MkdirTemp("", "rqbench-wal-*")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				cfg.Durability = &tscds.Durability{Dir: dir, SyncEvery: se}
+			}
+			m, err := tscds.New(tscds.BST, tscds.VCAS, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			warnSubstituted(m, src)
+			curMetrics.Store(cfg.Metrics)
+			curTracer.Store(m.Tracer())
+			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, n := range threads {
+				var before obs.WALSnapshot
+				if w := cfg.Metrics.Snapshot().WAL; w != nil {
+					before = *w
+				}
+				res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
+					Threads: n, Duration: duration, Trials: trials, Pin: true, Seed: 7,
+				}, arm{name, tscds.BST, tscds.VCAS}, src))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				results[name] = append(results[name], res)
+				rec := durabilityRecord{
+					Label: name, SyncEvery: se, Source: src.String(),
+					Threads: n, Mops: res.Mean,
+				}
+				if w := cfg.Metrics.Snapshot().WAL; w != nil {
+					rec.Appends = w.Appends - before.Appends
+					rec.Batches = w.Batches - before.Batches
+					rec.Fsyncs = w.Fsyncs - before.Fsyncs
+					if rec.Batches > 0 {
+						rec.RecordsPerBatch = float64(rec.Appends) / float64(rec.Batches)
+					}
+					if rec.Fsyncs > 0 {
+						rec.RecordsPerFsync = float64(rec.Appends) / float64(rec.Fsyncs)
+					}
+					fmt.Printf("durability arm %s n=%d: %d appends in %d batches, %d fsyncs (%.1f records/fsync)\n",
+						name, n, rec.Appends, rec.Batches, rec.Fsyncs, rec.RecordsPerFsync)
+				}
+				records = append(records, rec)
+			}
+			if dm, ok := m.(tscds.DurableMap); ok && se > 0 {
+				if err := dm.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "durability arm %s: checkpoint: %v\n", name, err)
+					os.Exit(1)
+				}
+				if w := cfg.Metrics.Snapshot().WAL; w != nil && len(records) > 0 {
+					last := &records[len(records)-1]
+					last.SnapshotFlushes = w.SnapshotFlushes
+					last.SnapshotKeys = w.SnapshotKeys
+				}
+				if err := dm.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "durability arm %s: close: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+			dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), cfg.Metrics)
+			dumpTrace(fmt.Sprintf("%s %s", name, wl.Label()), m)
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+		}
+	}
+	fmt.Println(bench.Table(
+		fmt.Sprintf("Figure durability (WAL ack policies), workload %s, native (%d trials x %v)",
+			wl.Label(), trials, duration),
+		threads, results))
+	b, err := json.MarshalIndent(records, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rqbench: writing BENCH_durability.json: %v\n", err)
+		os.Exit(1)
+	}
+	writeBenchFile("BENCH_durability.json", append(b, '\n'))
+	fmt.Printf("durability: wrote %d records to BENCH_durability.json\n", len(records))
+}
+
 func main() {
-	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive, alloc")
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive, alloc, durability")
 	mode := flag.String("mode", "native", "native or sim")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
@@ -587,6 +786,7 @@ func main() {
 	serveAddr := flag.String("serve", "", "native: serve live /metrics, /trace and /tschealth on this address (e.g. :8080)")
 	shardsFlag := flag.Int("shards", 1, "native: partition each map across this many shards (figure 'shard' sweeps 1,2,4,8 itself)")
 	injectEvery := flag.Duration("inject-every", 100*time.Millisecond, "figure adaptive: TSC-backstep injection period (0 disables)")
+	syncSweep := flag.String("sync-every", "0,1,64", "figure durability: comma-separated SyncEvery arms (0 = WAL off)")
 	flag.Parse()
 	metricsOn = *metrics
 	traceOn = *traceFlag
@@ -667,6 +867,38 @@ func main() {
 		wl.KeyRange = *keyRange
 		wl.ZipfS = *zipf
 		runAllocFigure(threads, wl, *duration, *trials)
+		if tscHealth != nil {
+			fmt.Printf("tschealth %s\n", tscHealth.String())
+		}
+		return
+	}
+
+	if *custom == "" && *fig == "durability" {
+		if *mode == "sim" {
+			fmt.Fprintln(os.Stderr, "figure durability runs natively only")
+			os.Exit(1)
+		}
+		threads, err := bench.ParseThreads(*threadsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sweep, err := parseSyncSweep(*syncSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Update-heavy: only inserts and deletes cross the WAL, so reads
+		// would just dilute the arms. The key range defaults small here —
+		// prefill runs through the durable path, and in sync mode each
+		// prefilled key pays a full fsync.
+		wl := bench.PaperWorkload(50, 10, 40)
+		wl.KeyRange = *keyRange
+		if *keyRange == 1_000_000 {
+			wl.KeyRange = 8192
+		}
+		wl.ZipfS = *zipf
+		runDurabilityFigure(threads, wl, *duration, *trials, sweep)
 		if tscHealth != nil {
 			fmt.Printf("tschealth %s\n", tscHealth.String())
 		}

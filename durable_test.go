@@ -1,0 +1,455 @@
+package tscds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tscds"
+	"tscds/internal/linearize"
+	"tscds/internal/wal/faultfs"
+)
+
+// These tests drive the durability layer through injected storage
+// faults: run a recorded workload against a WAL-backed map on a
+// fault-injecting filesystem, crash it at a chosen I/O operation, heal
+// the disk image (dropping unsynced bytes, as a real crash does),
+// recover, and require the recovered state to be a crash-consistent
+// snapshot of the acknowledged history (linearize.CheckDurable).
+
+const (
+	cmDir      = "crashdir"
+	cmWorkers  = 3
+	cmOps      = 40
+	cmKeyRange = 64
+	cmShards   = 2
+)
+
+// uval is the harness's unique-value convention (thread in the high
+// bits, sequence below), matching the linearize package's.
+func uval(tid int, seq uint64) uint64 { return uint64(tid+1)<<40 | seq }
+
+// crashOutcome is everything a crashed run leaves for the checker.
+type crashOutcome struct {
+	hist    *linearize.History
+	pending []linearize.Event
+}
+
+func durCfg(fs *faultfs.FS, syncEvery int) tscds.Config {
+	return tscds.Config{
+		Source:     tscds.Logical,
+		Durability: &tscds.Durability{Dir: cmDir, SyncEvery: syncEvery, FS: fs},
+	}
+}
+
+// runCrashWorkload drives a durable sharded map until every worker
+// finishes or hits a durability error. Only operations that succeeded
+// in memory are recorded: acknowledged ones (err == nil) become
+// history, unacknowledged ones become pending. Worker 0 checkpoints
+// halfway through, putting snapshot I/O inside the faultable window.
+func runCrashWorkload(t *testing.T, fs *faultfs.FS, syncEvery int) crashOutcome {
+	t.Helper()
+	m, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, durCfg(fs, syncEvery))
+	if err != nil {
+		// The fault fired before the map even opened: there is no
+		// acknowledged history to preserve.
+		return crashOutcome{hist: &linearize.History{Cfg: linearize.Config{Seed: 1}}}
+	}
+
+	var clock atomic.Int64
+	logs := make([][]linearize.Event, cmWorkers)
+	var mu sync.Mutex
+	var pending []linearize.Event
+	var wg sync.WaitGroup
+	for tid := 0; tid < cmWorkers; tid++ {
+		th, err := m.RegisterThread()
+		if err != nil {
+			t.Fatalf("RegisterThread: %v", err)
+		}
+		wg.Add(1)
+		go func(tid int, th *tscds.Thread) {
+			defer wg.Done()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(tid) + 1))
+			var seq uint64
+			log := make([]linearize.Event, 0, cmOps)
+			defer func() { // keep acked events even when stopping on error
+				mu.Lock()
+				logs[tid] = log
+				mu.Unlock()
+			}()
+			for i := 0; i < cmOps; i++ {
+				if tid == 0 && i == cmOps/2 {
+					_ = m.Checkpoint() // may fail under the fault; recovery decides
+				}
+				key := rng.Uint64() % cmKeyRange
+				ev := linearize.Event{Thread: tid, Key: key}
+				var ok bool
+				var err error
+				if rng.Intn(100) < 60 {
+					seq++
+					ev.Op, ev.Val = linearize.OpInsert, uval(tid, seq)
+					ev.Inv = clock.Add(1)
+					ok, err = m.InsertDurable(th, key, ev.Val)
+				} else {
+					ev.Op = linearize.OpDelete
+					ev.Inv = clock.Add(1)
+					ok, err = m.DeleteDurable(th, key)
+				}
+				ev.Ret = clock.Add(1)
+				ev.OK = ok
+				if err != nil {
+					// Applied in memory but never acknowledged durable:
+					// the crash decides whether it survives.
+					if ok {
+						mu.Lock()
+						pending = append(pending, ev)
+						mu.Unlock()
+					}
+					return // workers stop at the first durability error
+				}
+				if ok {
+					log = append(log, ev)
+				}
+			}
+		}(tid, th)
+	}
+	wg.Wait()
+	_ = m.Close() // under a crash fault this reports the sticky error
+
+	return crashOutcome{
+		hist:    &linearize.History{Cfg: linearize.Config{Seed: 1}, Threads: logs},
+		pending: pending,
+	}
+}
+
+// recoverAndCheck heals the disk image, reopens the map, reads back
+// its full content and validates it against the crashed run.
+func recoverAndCheck(t *testing.T, fs *faultfs.FS, syncEvery int, out crashOutcome) {
+	t.Helper()
+	fs.Heal()
+	m, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, durCfg(fs, syncEvery))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer m.Close()
+	th, err := m.RegisterThread()
+	if err != nil {
+		t.Fatalf("RegisterThread: %v", err)
+	}
+	defer th.Release()
+	recovered := m.RangeQuery(th, 0, cmKeyRange, nil)
+	if err := linearize.CheckDurable(out.hist, out.pending, recovered); err != nil {
+		rec := m.LastRecovery()
+		t.Fatalf("recovered state inconsistent with acknowledged history\nrecovery: %+v\n%v", rec, err)
+	}
+}
+
+// TestCrashMatrix is the acceptance gate: for every injected crash
+// point across the workload's I/O trace — segment creation, WAL batch
+// writes, fsyncs, snapshot temp-writes, renames, directory syncs — the
+// recovered map must satisfy durable linearizability against the
+// acknowledged pre-crash history.
+func TestCrashMatrix(t *testing.T) {
+	dry := faultfs.New(faultfs.Fault{})
+	out := runCrashWorkload(t, dry, 1)
+	if got := out.hist.Events(); got == 0 {
+		t.Fatal("dry run recorded no events")
+	}
+	recoverAndCheck(t, dry, 1, out)
+	total := dry.Ops()
+	if total < 10 {
+		t.Fatalf("dry run performed only %d I/O ops", total)
+	}
+
+	points := 12
+	if testing.Short() {
+		points = 6
+	}
+	kinds := []struct {
+		kind faultfs.Kind
+		name string
+	}{
+		{faultfs.KindCrash, "crash"},
+		{faultfs.KindTorn, "torn"},
+		{faultfs.KindWriteErr, "transient"},
+		{faultfs.KindENOSPC, "enospc"},
+	}
+	for _, k := range kinds {
+		for p := 0; p < points; p++ {
+			// Evenly spaced over the dry run's I/O trace. Concurrency
+			// makes other runs' traces differ slightly; a point past the
+			// end simply never fires, which is still a valid (clean) run.
+			at := 1 + p*(total-1)/(points-1)
+			t.Run(fmt.Sprintf("%s/op%03d", k.name, at), func(t *testing.T) {
+				fs := faultfs.New(faultfs.Fault{AtOp: at, Kind: k.kind})
+				out := runCrashWorkload(t, fs, 1)
+				if k.kind == faultfs.KindWriteErr && fs.Crashed() {
+					t.Fatal("transient fault crashed the filesystem")
+				}
+				recoverAndCheck(t, fs, 1, out)
+			})
+		}
+	}
+}
+
+// TestCrashDuringRecovery crashes the recovery run itself (while it
+// opens fresh segments for the new run generation): the open must fail
+// cleanly, and a second attempt must recover everything.
+func TestCrashDuringRecovery(t *testing.T) {
+	fs := faultfs.New(faultfs.Fault{})
+	out := runCrashWorkload(t, fs, 1)
+
+	// Clone the surviving image onto a filesystem armed to crash at the
+	// recovery run's second mutating I/O (mid segment setup).
+	armed := faultfs.New(faultfs.Fault{})
+	copyImage(t, fs, armed)
+	armed.Arm(faultfs.Fault{AtOp: armed.Ops() + 2, Kind: faultfs.KindCrash})
+	if _, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, durCfg(armed, 1)); err == nil {
+		t.Fatal("open under recovery crash succeeded")
+	}
+	recoverAndCheck(t, armed, 1, out)
+}
+
+// copyImage clones src's surviving files into dst.
+func copyImage(t *testing.T, src, dst *faultfs.FS) {
+	t.Helper()
+	for _, p := range src.Paths() {
+		b, err := src.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		f, err := dst.Create(p)
+		if err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		if _, err := f.Write(b); err != nil {
+			t.Fatalf("write %s: %v", p, err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", p, err)
+		}
+	}
+}
+
+// TestRecoverRefusesCorruptInterior verifies end to end that interior
+// damage — a flipped bit with intact records after it — fails the open
+// with a descriptive error instead of silently truncating history.
+func TestRecoverRefusesCorruptInterior(t *testing.T) {
+	fs := faultfs.New(faultfs.Fault{})
+	runCrashWorkload(t, fs, 1)
+	var seg string
+	for _, p := range fs.Paths() {
+		if strings.Contains(p, "wal-") && fs.Size(p) > 32+3*29 {
+			seg = p
+			break
+		}
+	}
+	if seg == "" {
+		t.Fatal("no segment with enough records to corrupt")
+	}
+	if err := fs.Corrupt(seg, 32+10); err != nil { // inside the first record
+		t.Fatalf("Corrupt: %v", err)
+	}
+	_, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, durCfg(fs, 1))
+	if err == nil {
+		t.Fatal("open accepted a corrupt WAL interior")
+	}
+	if !strings.Contains(err.Error(), "corrupt") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("corruption error lacks file/offset detail: %v", err)
+	}
+}
+
+// TestDurableRestartRoundtrip exercises the real filesystem: insert,
+// checkpoint, insert more, close cleanly, reopen, and expect the exact
+// content back with the snapshot + replay split visible in the stats.
+func TestDurableRestartRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tscds.Config{Source: tscds.Logical, Durability: &tscds.Durability{Dir: dir, SyncEvery: 1}}
+	m, err := tscds.New(tscds.BST, tscds.VCAS, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dm := m.(tscds.DurableMap)
+	th, _ := m.RegisterThread()
+	for k := uint64(0); k < 20; k++ {
+		if ok, err := dm.InsertDurable(th, k, k*10); !ok || err != nil {
+			t.Fatalf("InsertDurable(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if err := dm.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for k := uint64(20); k < 30; k++ {
+		if ok, err := dm.InsertDurable(th, k, k*10); !ok || err != nil {
+			t.Fatalf("InsertDurable(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if ok, err := dm.DeleteDurable(th, 5); !ok || err != nil {
+		t.Fatalf("DeleteDurable(5) = %v, %v", ok, err)
+	}
+	th.Release()
+	if err := dm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2, err := tscds.New(tscds.BST, tscds.VCAS, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	dm2 := m2.(tscds.DurableMap)
+	defer dm2.Close()
+	rec := dm2.LastRecovery()
+	if rec.SnapshotKeys != 20 {
+		t.Fatalf("recovery loaded %d snapshot keys, want 20 (%+v)", rec.SnapshotKeys, rec)
+	}
+	if rec.Replayed != 11 {
+		t.Fatalf("recovery replayed %d records, want 11 (%+v)", rec.Replayed, rec)
+	}
+	th2, _ := m2.RegisterThread()
+	defer th2.Release()
+	got := m2.RangeQuery(th2, 0, 100, nil)
+	if len(got) != 29 {
+		t.Fatalf("recovered %d keys, want 29", len(got))
+	}
+	for _, kv := range got {
+		if kv.Key == 5 {
+			t.Fatal("deleted key 5 resurrected")
+		}
+		if kv.Val != kv.Key*10 {
+			t.Fatalf("key %d recovered value %d, want %d", kv.Key, kv.Val, kv.Key*10)
+		}
+	}
+}
+
+// TestDurableBatchedMode checks the bounded-loss configuration: acks
+// come before fsync, but a clean Close still makes everything durable.
+func TestDurableBatchedMode(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tscds.Config{Source: tscds.Logical, Durability: &tscds.Durability{Dir: dir, SyncEvery: 64}}
+	m, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, cfg)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	th, _ := m.RegisterThread()
+	for k := uint64(0); k < 50; k++ {
+		if ok, err := m.InsertDurable(th, k, k+1); !ok || err != nil {
+			t.Fatalf("InsertDurable(%d) = %v, %v", k, ok, err)
+		}
+	}
+	th.Release()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	m2, err := tscds.NewSharded(tscds.BST, tscds.VCAS, cmShards, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	th2, _ := m2.RegisterThread()
+	defer th2.Release()
+	if got := len(m2.RangeQuery(th2, 0, 100, nil)); got != 50 {
+		t.Fatalf("recovered %d keys after clean batched close, want 50", got)
+	}
+}
+
+// TestCheckpointOnPlainMapErrors pins the non-durable error path.
+func TestCheckpointOnPlainMapErrors(t *testing.T) {
+	m, err := tscds.New(tscds.BST, tscds.VCAS, tscds.Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.(tscds.DurableMap).Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a non-durable map returned nil")
+	}
+}
+
+// TestDrainRacesSnapshotFlush races Drain (eager reclamation of
+// version chains and limbo lists) against a fast periodic snapshot
+// flusher and concurrent writers. The flusher pins a timestamp and
+// walks RangeQueryAt while Drain reclaims; under -race this guards the
+// flusher's announced-timestamp protocol against reclamation. Run for
+// both a version-chain structure (vCAS) and an EBR-heavy one.
+func TestDrainRacesSnapshotFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based race soak")
+	}
+	for _, tc := range []struct {
+		name string
+		tech tscds.Technique
+	}{
+		{"vcas", tscds.VCAS},
+		{"ebrrq-lockfree", tscds.EBRRQLockFree},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := tscds.Config{
+				Source: tscds.Logical,
+				Durability: &tscds.Durability{
+					Dir: dir, SyncEvery: 8, SnapshotEvery: time.Millisecond,
+				},
+			}
+			m, err := tscds.NewSharded(tscds.BST, tc.tech, cmShards, cfg)
+			if err != nil {
+				t.Fatalf("NewSharded: %v", err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				th, err := m.RegisterThread()
+				if err != nil {
+					t.Fatalf("RegisterThread: %v", err)
+				}
+				wg.Add(1)
+				go func(w int, th *tscds.Thread) {
+					defer wg.Done()
+					defer th.Release()
+					rng := rand.New(rand.NewSource(int64(w) + 99))
+					var seq uint64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						key := rng.Uint64() % 128
+						if rng.Intn(2) == 0 {
+							seq++
+							if _, err := m.InsertDurable(th, key, uval(w, seq)); err != nil {
+								t.Errorf("InsertDurable: %v", err)
+								return
+							}
+						} else {
+							if _, err := m.DeleteDurable(th, key); err != nil {
+								t.Errorf("DeleteDurable: %v", err)
+								return
+							}
+						}
+					}
+				}(w, th)
+			}
+			deadline := time.After(300 * time.Millisecond)
+		drainLoop:
+			for {
+				select {
+				case <-deadline:
+					break drainLoop
+				default:
+					m.Drain()
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if err := m.WALError(); err != nil {
+				t.Fatalf("WALError: %v", err)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}

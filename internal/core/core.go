@@ -13,7 +13,10 @@
 // contention bottleneck the paper measures.
 package core
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // TS is a timestamp. Logical sources produce small dense integers;
 // hardware sources produce TSC cycle counts. Algorithms only ever compare
@@ -32,6 +35,13 @@ const MaxTS TS = Pending - 1
 // KV is a key-value pair returned by range queries.
 type KV struct {
 	Key, Val uint64
+}
+
+// SortKVs sorts pairs by ascending key. Range-query collections return
+// shard- or structure-order results; the facade's Scan and the
+// durability layer's snapshot writer both need key order.
+func SortKVs(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
 }
 
 // Kind identifies a timestamp source implementation.

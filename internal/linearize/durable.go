@@ -1,0 +1,106 @@
+package linearize
+
+import (
+	"fmt"
+	"math"
+
+	"tscds"
+)
+
+// This file extends the checker to crash recovery: durable
+// linearizability (Izraelevitz et al., DISC 2016) specialized to the
+// WAL layer's acknowledgment contract. After a crash and recovery,
+//
+//   - every operation whose durable acknowledgment returned before the
+//     crash must be reflected in the recovered state;
+//   - every operation that was invoked but never acknowledged (in
+//     flight at the crash, or failed with a durability error after
+//     applying in memory) may or may not be reflected — the crash
+//     caught it between the in-memory apply and the covering fsync,
+//     and either outcome is a legal completion;
+//   - the recovered state must be an atomic snapshot: some single
+//     linearization of the acknowledged history plus a subset of the
+//     unacknowledged operations produces exactly it.
+//
+// CheckDurable reduces this to the existing oracle: it appends each
+// candidate completion of the pending set to the history, appends one
+// synthetic full-range query observing the recovered pairs after every
+// other stamp, and accepts iff some completion makes Check pass.
+
+// maxPending bounds the completion search (2^n subsets). The harness
+// blocks each worker on its durable acknowledgment, so at most one
+// operation per worker is pending at a crash and real pending sets are
+// tiny; the bound only guards against quadratic misuse.
+const maxPending = 16
+
+// CheckDurable reports whether the recovered state is explainable as a
+// crash-consistent snapshot of the recorded history: h holds every
+// operation that was durably acknowledged before the crash, pending
+// holds operations that applied in memory but whose acknowledgment
+// never returned cleanly (each may or may not have reached the log),
+// and recovered is the full key-value content of the map after
+// recovery. It returns nil when some subset of pending joined to h
+// linearizes with the recovered snapshot as its final observation; the
+// returned violation (wrapping ErrNotLinearizable) otherwise describes
+// the empty-subset attempt, the most common real failure being a lost
+// acknowledged update.
+func CheckDurable(h *History, pending []Event, recovered []tscds.KV) error {
+	if len(pending) > maxPending {
+		return fmt.Errorf("linearize: %d pending operations exceed the %d the completion search supports",
+			len(pending), maxPending)
+	}
+
+	// One past every recorded stamp: pending completions linearize
+	// somewhere in [their Inv, at], and the recovered-state observation
+	// happens strictly after everything at at+1.
+	var at int64
+	bump := func(evs []Event) {
+		for i := range evs {
+			if evs[i].Ret > at {
+				at = evs[i].Ret
+			}
+			if evs[i].Inv > at {
+				at = evs[i].Inv
+			}
+		}
+	}
+	for _, log := range h.Threads {
+		bump(log)
+	}
+	bump(pending)
+	at++
+
+	snap := Event{
+		Op: OpRange, Thread: len(h.Threads) + len(pending),
+		Lo: 0, Hi: math.MaxUint64,
+		KVs: recovered,
+		Inv: at + 1, Ret: at + 1,
+	}
+
+	var firstErr error
+	for mask := 0; mask < 1<<len(pending); mask++ {
+		threads := make([][]Event, 0, len(h.Threads)+len(pending)+1)
+		threads = append(threads, h.Threads...)
+		for i := range pending {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			// This completion says the op did reach the log: it took
+			// effect, completing no later than recovery.
+			ev := pending[i]
+			ev.OK = true
+			ev.Ret = at
+			threads = append(threads, []Event{ev})
+		}
+		threads = append(threads, []Event{snap})
+		err := Check(&History{Cfg: h.Cfg, Threads: threads})
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return fmt.Errorf("linearize: recovered state matches no completion of %d pending operation(s): %w",
+		len(pending), firstErr)
+}

@@ -1,0 +1,125 @@
+package linearize
+
+import (
+	"errors"
+	"testing"
+
+	"tscds"
+)
+
+// dh builds a minimal acknowledged history from sequential events.
+func dh(evs ...Event) *History {
+	return &History{Cfg: Config{Seed: 1}, Threads: [][]Event{evs}}
+}
+
+// seqEvents stamps evs with disjoint increasing intervals.
+func seqEvents(evs []Event) []Event {
+	t := int64(1)
+	for i := range evs {
+		evs[i].Inv = t
+		evs[i].Ret = t + 1
+		t += 2
+	}
+	return evs
+}
+
+func TestCheckDurableAccepts(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+		{Op: OpInsert, Key: 2, Val: value(0, 2), OK: true},
+		{Op: OpDelete, Key: 2, OK: true},
+	})...)
+	recovered := []tscds.KV{{Key: 1, Val: value(0, 1)}}
+	if err := CheckDurable(h, nil, recovered); err != nil {
+		t.Fatalf("exact recovered state rejected: %v", err)
+	}
+}
+
+func TestCheckDurableDetectsLostAckedInsert(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+		{Op: OpInsert, Key: 2, Val: value(0, 2), OK: true},
+	})...)
+	// Key 2's acknowledged insert vanished.
+	err := CheckDurable(h, nil, []tscds.KV{{Key: 1, Val: value(0, 1)}})
+	if err == nil {
+		t.Fatal("lost acknowledged insert not detected")
+	}
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("error does not wrap ErrNotLinearizable: %v", err)
+	}
+}
+
+func TestCheckDurableDetectsResurrectedDelete(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+		{Op: OpDelete, Key: 1, OK: true},
+	})...)
+	// The acknowledged delete was lost: key 1 came back.
+	if CheckDurable(h, nil, []tscds.KV{{Key: 1, Val: value(0, 1)}}) == nil {
+		t.Fatal("lost acknowledged delete not detected")
+	}
+}
+
+func TestCheckDurableDetectsForeignValue(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+	})...)
+	// Recovered a value no insert ever wrote.
+	if CheckDurable(h, nil, []tscds.KV{{Key: 1, Val: 1 << 63}}) == nil {
+		t.Fatal("fabricated recovered value not detected")
+	}
+}
+
+func TestCheckDurablePendingInsertEitherWay(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+	})...)
+	pending := []Event{{Op: OpInsert, Thread: 1, Key: 2, Val: value(1, 1), Inv: 10}}
+
+	with := []tscds.KV{{Key: 1, Val: value(0, 1)}, {Key: 2, Val: value(1, 1)}}
+	if err := CheckDurable(h, pending, with); err != nil {
+		t.Fatalf("pending insert that reached the log rejected: %v", err)
+	}
+	without := []tscds.KV{{Key: 1, Val: value(0, 1)}}
+	if err := CheckDurable(h, pending, without); err != nil {
+		t.Fatalf("pending insert that missed the log rejected: %v", err)
+	}
+}
+
+func TestCheckDurablePendingDeleteEitherWay(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+	})...)
+	pending := []Event{{Op: OpDelete, Thread: 1, Key: 1, Inv: 10}}
+
+	if err := CheckDurable(h, pending, []tscds.KV{{Key: 1, Val: value(0, 1)}}); err != nil {
+		t.Fatalf("pending delete that missed the log rejected: %v", err)
+	}
+	if err := CheckDurable(h, pending, nil); err != nil {
+		t.Fatalf("pending delete that reached the log rejected: %v", err)
+	}
+}
+
+func TestCheckDurablePendingCannotExcuseForeignState(t *testing.T) {
+	h := dh(seqEvents([]Event{
+		{Op: OpInsert, Key: 1, Val: value(0, 1), OK: true},
+	})...)
+	pending := []Event{{Op: OpInsert, Thread: 1, Key: 2, Val: value(1, 1), Inv: 10}}
+	// Key 3 relates to nothing in the history or the pending set.
+	bad := []tscds.KV{{Key: 1, Val: value(0, 1)}, {Key: 3, Val: value(2, 9)}}
+	if CheckDurable(h, pending, bad) == nil {
+		t.Fatal("recovered state with unexplained key not detected")
+	}
+}
+
+func TestCheckDurablePendingBound(t *testing.T) {
+	h := dh()
+	pending := make([]Event, maxPending+1)
+	for i := range pending {
+		pending[i] = Event{Op: OpInsert, Key: uint64(i), Val: value(i, 1), Inv: 1}
+	}
+	if CheckDurable(h, pending, nil) == nil {
+		t.Fatal("oversized pending set accepted")
+	}
+}

@@ -349,9 +349,11 @@ type Registry struct {
 	Source   SourceStats
 	GC       GC
 	Pool     PoolStats
+	WAL      WALStats
 	kind     atomic.Pointer[string]
 	actual   atomic.Pointer[string]
 	alloc    atomic.Pointer[string]
+	walMode  atomic.Pointer[string]
 	shards   atomic.Pointer[[]*ShardStats]
 	strCache atomic.Pointer[stringCache]
 }
@@ -380,6 +382,11 @@ func (r *Registry) SetSourceActual(actual string) { r.actual.Store(&actual) }
 // reported with the pool stats in snapshots. Left unset, the pool
 // section is omitted (the structure allocates through the GC).
 func (r *Registry) SetAllocMode(mode string) { r.alloc.Store(&mode) }
+
+// SetWALMode records the durability-mode label ("sync", "batched(N)")
+// reported with the WAL stats in snapshots. Left unset, the wal
+// section is omitted (the map is not durable).
+func (r *Registry) SetWALMode(mode string) { r.walMode.Store(&mode) }
 
 // EnsureShards sizes the per-shard stats table to at least n entries.
 // Call before the instrumented map sees traffic; existing entries (and
@@ -426,6 +433,9 @@ type Snapshot struct {
 	// Pool is present only for registries wired to a pooled or arena
 	// allocator (SetAllocMode was called).
 	Pool *PoolSnapshot `json:"pool,omitempty"`
+	// WAL is present only for registries wired to a durable map
+	// (SetWALMode was called).
+	WAL *WALSnapshot `json:"wal,omitempty"`
 	// Shards is present only for registries wired to a sharded map.
 	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
@@ -453,6 +463,11 @@ func (r *Registry) Snapshot() Snapshot {
 		ps := r.Pool.Snapshot()
 		ps.Mode = *m
 		s.Pool = &ps
+	}
+	if m := r.walMode.Load(); m != nil {
+		ws := r.WAL.Snapshot()
+		ws.Mode = *m
+		s.WAL = &ws
 	}
 	for c := OpClass(0); c < numOpClasses; c++ {
 		s.Ops[c.String()] = r.ops[c].Snapshot()
@@ -534,6 +549,22 @@ func (s Snapshot) Summary() string {
 		}
 		fmt.Fprintf(&b, "  alloc %s: %d pool hits / %d misses (%.1f%% reuse), %d recycled\n",
 			p.Mode, p.Hits, p.Misses, hitPct, p.Recycled)
+	}
+	if w := s.WAL; w != nil {
+		group := 0.0
+		if w.Batches > 0 {
+			group = float64(w.Appends) / float64(w.Batches)
+		}
+		fmt.Fprintf(&b, "  wal %s: %d appends in %d batches (%.1f/commit), %d fsyncs, %d snapshots (%d keys)\n",
+			w.Mode, w.Appends, w.Batches, group, w.Fsyncs, w.SnapshotFlushes, w.SnapshotKeys)
+		if w.Retries+w.Errors+w.SnapshotFailures > 0 {
+			fmt.Fprintf(&b, "  wal faults: %d retries, %d errors, %d snapshot failures\n",
+				w.Retries, w.Errors, w.SnapshotFailures)
+		}
+		if w.RecoveredKeys+w.RecoveredRecords+w.TornSkipped > 0 {
+			fmt.Fprintf(&b, "  recovery: %d snapshot keys, %d records replayed, %d torn records skipped\n",
+				w.RecoveredKeys, w.RecoveredRecords, w.TornSkipped)
+		}
 	}
 	if len(s.Shards) > 0 {
 		fmt.Fprintf(&b, "  shards:")

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -32,9 +33,22 @@ type Server struct {
 // ":0", where the OS picks the port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
+// closeGrace bounds how long Close waits for in-flight scrapes. A
+// scrape renders a few KB of JSON; a second of grace is generous, and
+// the bound keeps a wedged client from hanging benchmark shutdown.
+const closeGrace = time.Second
+
+// Close shuts the server down, letting in-flight scrapes finish: a
+// bench that stops its endpoint mid-scrape used to hand the collector
+// a truncated JSON body. After the grace period any remaining
+// connections are torn down hard.
 func (s *Server) Close() error {
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // Serve starts an opt-in HTTP stats endpoint on addr and returns

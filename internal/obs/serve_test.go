@@ -66,6 +66,52 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestCloseDrainsInflightScrape: Close must let a scrape that is
+// already rendering finish instead of slamming the connection —
+// stopping an endpoint mid-scrape used to hand collectors truncated
+// JSON bodies.
+func TestCloseDrainsInflightScrape(t *testing.T) {
+	entered := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", map[string]Var{
+		"slow": Func(func() string {
+			close(entered)
+			time.Sleep(150 * time.Millisecond)
+			return `{"done":true}`
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{b, err}
+	}()
+
+	<-entered // the scrape is mid-render
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape broken by Close: %v", r.err)
+	}
+	if !strings.Contains(string(r.body), `"done":true`) {
+		t.Fatalf("in-flight scrape truncated: %q", r.body)
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.256.256.256:99999", nil); err == nil {
 		t.Fatal("expected error for bad listen addr")

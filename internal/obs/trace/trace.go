@@ -92,6 +92,17 @@ const (
 	// across Config.Alloc modes is how the alloc figure attributes
 	// update-path time to the allocator.
 	PhaseAlloc
+	// PhaseWALAppend is the durability tax on an acknowledged update:
+	// appending the record to the shard's WAL buffer and waiting for
+	// the group commit that covers it (span). In sync mode this is
+	// dominated by the shared fsync; in batched mode by the write.
+	PhaseWALAppend
+	// PhaseSnapshotFlush is one whole snapshot flush: collecting the
+	// map at a single timestamp via RangeQueryAt (writers running),
+	// sorting, and atomically writing the image (span; recorded on the
+	// shared stats block, since flushes run on the durability layer's
+	// own thread or the Checkpoint caller's).
+	PhaseSnapshotFlush
 
 	// NumPhases is the number of phases.
 	NumPhases
@@ -130,6 +141,10 @@ func (p Phase) String() string {
 		return "source-switch"
 	case PhaseAlloc:
 		return "alloc"
+	case PhaseWALAppend:
+		return "wal-append"
+	case PhaseSnapshotFlush:
+		return "snapshot-flush"
 	}
 	return "unknown"
 }
@@ -139,7 +154,8 @@ func (p Phase) String() string {
 func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseTraverse, PhaseTimestamp, PhaseLabel, PhaseLockWait, PhaseLimboScan,
-		PhaseShardFanout, PhaseSourceSwitch, PhaseAlloc:
+		PhaseShardFanout, PhaseSourceSwitch, PhaseAlloc, PhaseWALAppend,
+		PhaseSnapshotFlush:
 		return true
 	}
 	return false

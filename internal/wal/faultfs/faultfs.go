@@ -1,0 +1,371 @@
+// Package faultfs is an in-memory implementation of wal.FS with
+// deterministic fault injection: it fails the Nth I/O operation in a
+// configurable way (transient error, crash, torn write, ENOSPC, read
+// error) and models what survives the crash — only bytes covered by a
+// completed Sync, plus any torn-write prefix that reached the medium.
+//
+// The crash-matrix test drives it: run a workload once fault-free to
+// count the I/O ops, then re-run it once per crash point, Heal, and
+// recover — asserting the durability layer restores a state the
+// linearizability checker accepts against the acknowledged history.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tscds/internal/wal"
+)
+
+// Kind selects what happens at the faulted operation.
+type Kind int
+
+const (
+	// KindNone injects nothing (the counting dry run).
+	KindNone Kind = iota
+	// KindWriteErr fails the Nth mutating op once with a transient
+	// error; subsequent ops succeed. Exercises the retry path: with a
+	// working retry policy no caller ever observes it.
+	KindWriteErr
+	// KindCrash fails the Nth mutating op and every one after it — the
+	// process is "dead" until Heal, which discards unsynced bytes.
+	KindCrash
+	// KindTorn is KindCrash where a faulted Write first persists a
+	// prefix of its payload (a torn page that reached the medium), the
+	// damage recovery must skip via record CRCs.
+	KindTorn
+	// KindENOSPC fails every Write from the Nth mutating op on with
+	// ENOSPC (syncs and the rest keep working) — a persistent error
+	// the retry policy must give up on.
+	KindENOSPC
+	// KindReadErr fails the Nth read op (ReadFile/ReadDir) once with a
+	// transient error. Exercises recovery's error path: Open must fail
+	// cleanly, and succeed when retried.
+	KindReadErr
+)
+
+// ErrInjected is the base error every injected fault wraps.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Fault places one fault: the AtOp'th operation of the kind's class
+// (mutating ops for write kinds, reads for KindReadErr; 1-based) is
+// hit. AtOp 0 or KindNone injects nothing.
+type Fault struct {
+	AtOp int
+	Kind Kind
+}
+
+// FS implements wal.FS in memory with fault injection. Safe for
+// concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	fault   Fault
+	ops     int // mutating ops seen
+	reads   int // read ops seen
+	fired   bool
+	crashed bool
+	enospc  bool
+	files   map[string]*memFile
+}
+
+// New builds an empty filesystem with one configured fault.
+func New(fault Fault) *FS {
+	return &FS{fault: fault, files: make(map[string]*memFile)}
+}
+
+// Ops reports the number of mutating I/O operations performed so far —
+// the dry run's final value bounds the crash matrix's fault points.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Heal ends the crash: unsynced bytes are discarded (they were only in
+// the dead process's page cache) and subsequent I/O succeeds, modeling
+// the restart that recovery runs under.
+func (f *FS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		for _, mf := range f.files {
+			mf.data = mf.data[:mf.synced]
+		}
+	}
+	f.crashed = false
+	f.enospc = false
+	f.fault = Fault{}
+}
+
+// Arm replaces the configured fault without resetting the operation
+// counters: a test can stage a directory image fault-free, then inject
+// relative to the current count (e.g. Ops()+2 faults the second
+// mutating op from now).
+func (f *FS) Arm(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = fault
+	f.fired = false
+}
+
+// Corrupt flips one bit at offset off of path's surviving content —
+// damage no crash produces, which recovery must refuse.
+func (f *FS) Corrupt(path string, off int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.files[path]
+	if mf == nil || off < 0 || off >= len(mf.data) {
+		return fmt.Errorf("faultfs: corrupt %s@%d: no such byte", path, off)
+	}
+	mf.data[off] ^= 0x40
+	if mf.synced < off+1 {
+		mf.synced = off + 1
+	}
+	return nil
+}
+
+// Truncate cuts path's surviving content to n bytes (simulating a
+// short file).
+func (f *FS) Truncate(path string, n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.files[path]
+	if mf == nil || n < 0 || n > len(mf.data) {
+		return fmt.Errorf("faultfs: truncate %s to %d: out of range", path, n)
+	}
+	mf.data = mf.data[:n]
+	if mf.synced > n {
+		mf.synced = n
+	}
+	return nil
+}
+
+// Paths lists all file paths, sorted.
+func (f *FS) Paths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	paths := make([]string, 0, len(f.files))
+	for p := range f.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Size reports path's current content length, or -1 if absent.
+func (f *FS) Size(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.files[path]
+	if mf == nil {
+		return -1
+	}
+	return len(mf.data)
+}
+
+// step accounts one mutating op and decides its fate. Returns the
+// injected error and, for KindTorn, tornFrac=true meaning the caller
+// (Write) should persist a prefix first.
+func (f *FS) step() (err error, torn bool) {
+	if f.crashed {
+		return fmt.Errorf("%w: crashed", ErrInjected), false
+	}
+	f.ops++
+	if f.fired || f.fault.AtOp == 0 || f.ops < f.fault.AtOp {
+		return nil, false
+	}
+	switch f.fault.Kind {
+	case KindWriteErr:
+		f.fired = true
+		return fmt.Errorf("%w: transient I/O error (op %d)", ErrInjected, f.ops), false
+	case KindCrash:
+		f.fired = true
+		f.crashed = true
+		return fmt.Errorf("%w: crash (op %d)", ErrInjected, f.ops), false
+	case KindTorn:
+		f.fired = true
+		f.crashed = true
+		return fmt.Errorf("%w: torn write + crash (op %d)", ErrInjected, f.ops), true
+	case KindENOSPC:
+		// Persistent from here on; fired stays false so every
+		// subsequent write hits this arm again.
+		f.enospc = true
+		return fmt.Errorf("%w: no space left on device (op %d)", ErrInjected, f.ops), false
+	}
+	return nil, false
+}
+
+// stepRead accounts one read op.
+func (f *FS) stepRead() error {
+	if f.crashed {
+		return fmt.Errorf("%w: crashed", ErrInjected)
+	}
+	if f.fault.Kind != KindReadErr || f.fault.AtOp == 0 || f.fired {
+		return nil
+	}
+	f.reads++
+	if f.reads < f.fault.AtOp {
+		return nil
+	}
+	f.fired = true
+	return fmt.Errorf("%w: transient read error (read op %d)", ErrInjected, f.reads)
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// MkdirAll is a no-op beyond crash accounting (the in-memory namespace
+// is flat).
+func (f *FS) MkdirAll(string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("%w: crashed", ErrInjected)
+	}
+	return nil
+}
+
+func (f *FS) Create(path string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step(); err != nil && !f.enospc {
+		return nil, err
+	}
+	f.files[path] = &memFile{}
+	return &handle{fs: f, path: path}, nil
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step(); err != nil && !f.enospc {
+		return err
+	}
+	mf := f.files[oldPath]
+	if mf == nil {
+		return fmt.Errorf("faultfs: rename %s: no such file", oldPath)
+	}
+	delete(f.files, oldPath)
+	f.files[newPath] = mf
+	return nil
+}
+
+func (f *FS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step(); err != nil && !f.enospc {
+		return err
+	}
+	if _, ok := f.files[path]; !ok {
+		return fmt.Errorf("faultfs: remove %s: no such file", path)
+	}
+	delete(f.files, path)
+	return nil
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.stepRead(); err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for p := range f.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.stepRead(); err != nil {
+		return nil, err
+	}
+	mf := f.files[path]
+	if mf == nil {
+		return nil, fmt.Errorf("faultfs: read %s: no such file", path)
+	}
+	out := make([]byte, len(mf.data))
+	copy(out, mf.data)
+	return out, nil
+}
+
+func (f *FS) SyncDir(string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err, _ := f.step()
+	if f.enospc {
+		return nil
+	}
+	return err
+}
+
+// handle is one open file.
+type handle struct {
+	fs   *FS
+	path string
+}
+
+func (h *handle) file() *memFile { return h.fs.files[h.path] }
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	err, torn := h.fs.step()
+	if h.fs.enospc && err == nil {
+		err = fmt.Errorf("%w: no space left on device", ErrInjected)
+	}
+	mf := h.file()
+	if mf == nil {
+		return 0, fmt.Errorf("faultfs: write %s: stale handle", h.path)
+	}
+	if err != nil {
+		if torn && len(p) > 0 {
+			// A prefix reached the medium before the crash: it
+			// survives Heal regardless of syncing.
+			n := (len(p) + 1) / 2
+			mf.data = append(mf.data, p[:n]...)
+			if mf.synced < len(mf.data) {
+				mf.synced = len(mf.data)
+			}
+		}
+		return 0, err
+	}
+	mf.data = append(mf.data, p...)
+	return len(p), nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err, _ := h.fs.step(); err != nil && !h.fs.enospc {
+		return err
+	}
+	mf := h.file()
+	if mf == nil {
+		return fmt.Errorf("faultfs: sync %s: stale handle", h.path)
+	}
+	mf.synced = len(mf.data)
+	return nil
+}
+
+func (h *handle) Close() error { return nil }
+
+var _ wal.FS = (*FS)(nil)

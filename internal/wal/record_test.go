@@ -1,0 +1,64 @@
+package wal
+
+import "testing"
+
+func TestSegNameRoundTrip(t *testing.T) {
+	name := segName(3, 17)
+	sh, seq, ok := parseSegName(name)
+	if !ok || sh != 3 || seq != 17 {
+		t.Fatalf("parseSegName(%q) = %d, %d, %v", name, sh, seq, ok)
+	}
+	for _, bad := range []string{"wal-3-17.log", "wal-0003-000000000017.dat", "snap-x.log", "wal-0003-000000000017.log.tmp"} {
+		if _, _, ok := parseSegName(bad); ok {
+			t.Errorf("parseSegName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSnapNameRoundTrip(t *testing.T) {
+	name := snapName(2, 0xdeadbeef)
+	run, ts, ok := parseSnapName(name)
+	if !ok || run != 2 || ts != 0xdeadbeef {
+		t.Fatalf("parseSnapName(%q) = %d, %d, %v", name, run, ts, ok)
+	}
+	if _, _, ok := parseSnapName("snap-2-deadbeef.dat"); ok {
+		t.Error("unpadded snapshot name accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{TS: 42, Op: OpInsert, Key: 7, Val: 99}
+	b := appendRecord(nil, r)
+	if len(b) != recordSize {
+		t.Fatalf("encoded size %d, want %d", len(b), recordSize)
+	}
+	got, ok := decodeRecord(b)
+	if !ok || got != r {
+		t.Fatalf("decodeRecord = %+v, %v", got, ok)
+	}
+	b[20] ^= 1
+	if _, ok := decodeRecord(b); ok {
+		t.Fatal("bit-flipped record decoded")
+	}
+	b[20] ^= 1
+	b[12] = 77 // valid CRC but impossible op byte is still rejected
+	if _, ok := decodeRecord(appendRecord(nil, Record{Op: OpKind(77)})); ok {
+		t.Fatal("record with invalid op byte decoded")
+	}
+}
+
+func TestSnapshotImageRoundTrip(t *testing.T) {
+	kvs := []Pair{{Key: 1, Val: 10}, {Key: 2, Val: 20}}
+	img := encodeSnapshot(3, 1234, kvs)
+	run, ts, got, ok := decodeSnapshot(img)
+	if !ok || run != 3 || ts != 1234 || len(got) != 2 || got[0] != kvs[0] || got[1] != kvs[1] {
+		t.Fatalf("decodeSnapshot = %d, %d, %v, %v", run, ts, got, ok)
+	}
+	img[len(img)-1] ^= 1
+	if _, _, _, ok := decodeSnapshot(img); ok {
+		t.Fatal("bit-flipped snapshot decoded")
+	}
+	if _, _, _, ok := decodeSnapshot(encodeSnapshot(1, 1, nil)[:snapHdrSize-2]); ok {
+		t.Fatal("truncated snapshot decoded")
+	}
+}

@@ -1,0 +1,559 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tscds/internal/obs"
+)
+
+// ErrClosed is returned by appends against a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the durability directory (created if absent).
+	Dir string
+	// Shards is the number of independent append streams; the facade
+	// uses its shard count so each WAL stream is ordered by the same
+	// per-shard serialization that orders the map updates.
+	Shards int
+	// SyncEvery controls the durability/throughput trade. <= 1 (the
+	// default) acknowledges an append only after an fsync covering it
+	// returns — fully durable, with group commit amortizing the fsync
+	// across concurrent appenders. N > 1 acknowledges after write()
+	// and fsyncs every N records per shard: a crash may lose up to the
+	// last N acknowledged records per shard (bounded-loss mode, the
+	// durability-cost axis of the bench's durability figure).
+	SyncEvery int
+	// FS substitutes the file layer (fault injection); nil means OS().
+	FS FS
+	// Stats, when non-nil, receives append/batch/fsync/retry/recovery
+	// counters.
+	Stats *obs.WALStats
+	// MaxRetries bounds write/fsync retry attempts on transient errors
+	// (default 4; each retry backs off exponentially from
+	// RetryBackoff). A still-failing op makes the log's error sticky.
+	MaxRetries int
+	// RetryBackoff is the initial retry backoff (default 1ms).
+	RetryBackoff time.Duration
+
+	// sleep substitutes time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+// segMeta is pruning metadata for one no-longer-active segment file.
+type segMeta struct {
+	name  string
+	runID uint64
+	maxTS uint64 // largest record TS in the segment (0 when empty)
+	recs  int
+}
+
+// Log is the open write side: per-shard segment writers with group
+// commit, snapshot writing and pruning. All methods are safe for
+// concurrent use.
+type Log struct {
+	fs    FS
+	dir   string
+	runID uint64
+	sync  int
+	stats *obs.WALStats
+
+	maxRetries int
+	backoff    time.Duration
+	sleep      func(time.Duration)
+
+	shards []*shardLog
+
+	// snapMu serializes snapshot writes and pruning.
+	snapMu   sync.Mutex
+	oldSegs  []segMeta // pre-existing segments from prior runs
+	oldSnaps []string  // snapshot files on disk, name-sorted ascending
+}
+
+// shardLog is one shard's append stream. Appenders buffer encoded
+// records under mu and a dedicated committer goroutine drains the
+// buffer to the active segment file, so every write/fsync batch covers
+// every record buffered while the previous batch was in flight (group
+// commit).
+type shardLog struct {
+	log *Log
+	id  int
+
+	mu       sync.Mutex
+	work     *sync.Cond // committer waits: buffered work or control flags
+	ackd     *sync.Cond // appenders wait: acked advanced or err set
+	buf      []byte
+	bufRecs  uint64
+	bufMaxTS uint64
+	appended uint64 // LSN of the newest buffered record
+	acked    uint64 // LSN through which appends are acknowledged
+	err      error  // sticky; set on persistent I/O failure
+	rotate   bool
+	closing  bool
+	closed   []segMeta // segments this run closed, awaiting pruning
+
+	// Committer-owned state (no locking needed).
+	f         File
+	seq       uint64
+	name      string
+	fileRecs  int
+	fileMaxTS uint64
+	sinceSync int
+
+	done chan struct{}
+}
+
+// Open scans dir, recovers the surviving image (newest valid snapshot
+// + replayable records), assigns this run's generation, opens fresh
+// active segments and starts the committers. The returned Recovered
+// holds everything the caller must replay into its in-memory structure
+// before directing traffic at the log.
+func Open(opts Options) (*Log, *Recovered, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.FS == nil {
+		opts.FS = OS()
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = time.Millisecond
+	}
+	if opts.sleep == nil {
+		opts.sleep = time.Sleep
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		fs:         opts.FS,
+		dir:        opts.Dir,
+		sync:       opts.SyncEvery,
+		stats:      opts.Stats,
+		maxRetries: opts.MaxRetries,
+		backoff:    opts.RetryBackoff,
+		sleep:      opts.sleep,
+	}
+	rec, maxRun, nextSeq, err := l.scan(opts.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.runID = maxRun + 1
+
+	l.shards = make([]*shardLog, opts.Shards)
+	for i := range l.shards {
+		sl := &shardLog{log: l, id: i, seq: nextSeq[i], done: make(chan struct{})}
+		sl.work = sync.NewCond(&sl.mu)
+		sl.ackd = sync.NewCond(&sl.mu)
+		if err := sl.openSegment(); err != nil {
+			return nil, nil, err
+		}
+		l.shards[i] = sl
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
+	}
+	for _, sl := range l.shards {
+		go sl.run()
+	}
+	return l, rec, nil
+}
+
+// RunID reports this run's generation.
+func (l *Log) RunID() uint64 { return l.runID }
+
+// Err returns the first sticky I/O error, or nil while the log is
+// healthy. Once set, every append and wait fails fast with it: the map
+// keeps serving from memory but durability is broken.
+func (l *Log) Err() error {
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		err := sl.err
+		sl.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append buffers one record on shard sh and returns its LSN; the
+// caller passes the LSN to WaitDurable for the acknowledgment matching
+// Options.SyncEvery. Append must be called under the same per-shard
+// serialization that ordered the in-memory apply, so the log order is
+// the linearization order.
+func (l *Log) Append(sh int, r Record) (uint64, error) {
+	sl := l.shards[sh]
+	sl.mu.Lock()
+	if sl.err != nil {
+		err := sl.err
+		sl.mu.Unlock()
+		return 0, err
+	}
+	if sl.closing {
+		sl.mu.Unlock()
+		return 0, ErrClosed
+	}
+	sl.buf = appendRecord(sl.buf, r)
+	sl.bufRecs++
+	if r.TS > sl.bufMaxTS {
+		sl.bufMaxTS = r.TS
+	}
+	sl.appended++
+	lsn := sl.appended
+	sl.work.Signal()
+	sl.mu.Unlock()
+	if l.stats != nil {
+		l.stats.Appends.Inc()
+		l.stats.AppendedBytes.Add(recordSize)
+	}
+	return lsn, nil
+}
+
+// WaitDurable blocks until the record at lsn on shard sh is
+// acknowledged (synced in full-durability mode, written in bounded-
+// loss mode) or the log failed. A record acknowledged before a later
+// failure still reports success.
+func (l *Log) WaitDurable(sh int, lsn uint64) error {
+	sl := l.shards[sh]
+	sl.mu.Lock()
+	for sl.acked < lsn && sl.err == nil {
+		sl.ackd.Wait()
+	}
+	err := sl.err
+	if sl.acked >= lsn {
+		err = nil
+	}
+	sl.mu.Unlock()
+	return err
+}
+
+// RotateAll asks every shard's committer to close its active segment
+// and continue on a fresh one. Rotation is asynchronous: it takes
+// effect after the committer drains records buffered before the call.
+// The snapshot flusher rotates before writing a snapshot so segments
+// fully covered by it become prunable.
+func (l *Log) RotateAll() {
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		sl.rotate = true
+		sl.work.Signal()
+		sl.mu.Unlock()
+	}
+}
+
+// WriteSnapshot atomically writes the snapshot image taken at bound ts
+// (temp file + fsync + rename + dir sync). kvs must be the full map
+// content at ts, sorted by key, with user (unshifted) keys.
+func (l *Log) WriteSnapshot(ts uint64, kvs []Pair) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	name := snapName(l.runID, ts)
+	tmp := name + ".tmp"
+	img := encodeSnapshot(l.runID, ts, kvs)
+	err := l.writeSnapshotFile(tmp, name, img)
+	if l.stats != nil {
+		if err != nil {
+			l.stats.SnapshotFailures.Inc()
+		} else {
+			l.stats.SnapshotFlushes.Inc()
+			l.stats.SnapshotKeys.Add(uint64(len(kvs)))
+			l.stats.SnapshotBytes.Add(uint64(len(img)))
+		}
+	}
+	if err != nil {
+		_ = l.fs.Remove(filepath.Join(l.dir, tmp))
+		return err
+	}
+	l.oldSnaps = append(l.oldSnaps, name)
+	return nil
+}
+
+func (l *Log) writeSnapshotFile(tmp, name string, img []byte) error {
+	f, err := l.fs.Create(filepath.Join(l.dir, tmp))
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if err := l.writeRetry(f, img); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := l.syncRetry(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := l.fs.Rename(filepath.Join(l.dir, tmp), filepath.Join(l.dir, name)); err != nil {
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// PruneUpTo removes log state a successful snapshot at bound ts made
+// redundant: every segment from a previous run (the replay that opened
+// this run is contained in any snapshot this run writes), every closed
+// segment of this run whose records are all <= ts, and all but the two
+// newest snapshots (the newest is authoritative; its predecessor is
+// kept as the fallback image recovery uses if the newest turns out
+// unreadable). Removal failures are ignored; the files are retried on
+// the next prune.
+func (l *Log) PruneUpTo(ts uint64) {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	drop := func(m segMeta) bool {
+		return m.runID < l.runID || m.maxTS <= ts
+	}
+	kept := l.oldSegs[:0]
+	for _, m := range l.oldSegs {
+		if drop(m) && l.fs.Remove(filepath.Join(l.dir, m.name)) == nil {
+			if l.stats != nil {
+				l.stats.SegmentsPruned.Inc()
+			}
+			continue
+		}
+		kept = append(kept, m)
+	}
+	l.oldSegs = kept
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		keptC := sl.closed[:0]
+		for _, m := range sl.closed {
+			if drop(m) && l.fs.Remove(filepath.Join(l.dir, m.name)) == nil {
+				if l.stats != nil {
+					l.stats.SegmentsPruned.Inc()
+				}
+				continue
+			}
+			keptC = append(keptC, m)
+		}
+		sl.closed = keptC
+		sl.mu.Unlock()
+	}
+	if n := len(l.oldSnaps); n > 2 {
+		keptS := l.oldSnaps[:0]
+		for i, name := range l.oldSnaps {
+			if i < n-2 && l.fs.Remove(filepath.Join(l.dir, name)) == nil {
+				continue
+			}
+			keptS = append(keptS, name)
+		}
+		l.oldSnaps = keptS
+	}
+}
+
+// Close drains and fsyncs every shard (so a clean shutdown is fully
+// durable even in bounded-loss mode), stops the committers and closes
+// the files. It returns the sticky error, if any.
+func (l *Log) Close() error {
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		sl.closing = true
+		sl.work.Signal()
+		sl.mu.Unlock()
+	}
+	for _, sl := range l.shards {
+		<-sl.done
+	}
+	return l.Err()
+}
+
+// openSegment creates the next segment file for sl and writes its
+// header. Called by Open (before the committer starts) and by the
+// committer on rotation.
+func (sl *shardLog) openSegment() error {
+	sl.seq++
+	sl.name = segName(sl.id, sl.seq)
+	f, err := sl.log.fs.Create(filepath.Join(sl.log.dir, sl.name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", sl.name, err)
+	}
+	if err := sl.log.writeRetry(f, encodeSegHeader(sl.log.runID, sl.id, sl.seq)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write segment header %s: %w", sl.name, err)
+	}
+	sl.f = f
+	sl.fileRecs = 0
+	sl.fileMaxTS = 0
+	sl.sinceSync = 0
+	return nil
+}
+
+// run is the committer loop: drain buffered records, write them as one
+// batch, fsync per the durability mode, acknowledge, and handle
+// rotation and shutdown. A persistent I/O failure makes the shard's
+// error sticky and wakes every waiter.
+func (sl *shardLog) run() {
+	defer close(sl.done)
+	for {
+		sl.mu.Lock()
+		for len(sl.buf) == 0 && !sl.rotate && !sl.closing {
+			sl.work.Wait()
+		}
+		batch := sl.buf
+		nrecs := sl.bufRecs
+		maxTS := sl.bufMaxTS
+		doRotate := sl.rotate
+		closing := sl.closing
+		sl.buf = nil
+		sl.bufRecs = 0
+		sl.rotate = false
+		sl.mu.Unlock()
+
+		if len(batch) > 0 {
+			if err := sl.log.writeRetry(sl.f, batch); err != nil {
+				sl.fail(fmt.Errorf("wal: append %s: %w", sl.name, err))
+				return
+			}
+			if sl.log.stats != nil {
+				sl.log.stats.Batches.Inc()
+			}
+			needSync := sl.log.sync <= 1
+			if !needSync {
+				sl.sinceSync += int(nrecs)
+				needSync = sl.sinceSync >= sl.log.sync
+			}
+			if needSync {
+				if err := sl.log.syncRetry(sl.f); err != nil {
+					sl.fail(fmt.Errorf("wal: fsync %s: %w", sl.name, err))
+					return
+				}
+				sl.sinceSync = 0
+			}
+			sl.fileRecs += int(nrecs)
+			if maxTS > sl.fileMaxTS {
+				sl.fileMaxTS = maxTS
+			}
+			sl.mu.Lock()
+			sl.acked += nrecs
+			sl.ackd.Broadcast()
+			sl.mu.Unlock()
+		}
+
+		if doRotate && !closing {
+			if err := sl.doRotate(); err != nil {
+				sl.fail(err)
+				return
+			}
+		}
+
+		if closing {
+			sl.mu.Lock()
+			drained := len(sl.buf) == 0
+			sl.mu.Unlock()
+			if !drained {
+				continue
+			}
+			if err := sl.log.syncRetry(sl.f); err != nil {
+				sl.fail(fmt.Errorf("wal: fsync %s: %w", sl.name, err))
+				return
+			}
+			if err := sl.f.Close(); err != nil {
+				sl.fail(fmt.Errorf("wal: close %s: %w", sl.name, err))
+				return
+			}
+			return
+		}
+	}
+}
+
+// doRotate seals the active segment and opens the next one.
+func (sl *shardLog) doRotate() error {
+	if sl.fileRecs == 0 {
+		return nil // empty segment: nothing to seal
+	}
+	if err := sl.log.syncRetry(sl.f); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", sl.name, err)
+	}
+	if err := sl.f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", sl.name, err)
+	}
+	sealed := segMeta{name: sl.name, runID: sl.log.runID, maxTS: sl.fileMaxTS, recs: sl.fileRecs}
+	if err := sl.openSegment(); err != nil {
+		return err
+	}
+	if err := sl.log.fs.SyncDir(sl.log.dir); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	sl.mu.Lock()
+	sl.closed = append(sl.closed, sealed)
+	sl.mu.Unlock()
+	return nil
+}
+
+// fail makes err sticky and wakes every waiter; the committer exits.
+func (sl *shardLog) fail(err error) {
+	if sl.log.stats != nil {
+		sl.log.stats.Errors.Inc()
+	}
+	sl.mu.Lock()
+	if sl.err == nil {
+		sl.err = err
+	}
+	sl.ackd.Broadcast()
+	sl.mu.Unlock()
+	if sl.f != nil {
+		_ = sl.f.Close()
+	}
+}
+
+// writeRetry writes b in full, retrying transient errors with
+// exponential backoff and resuming after partial writes (the retried
+// write continues at the failed offset, so a transient mid-batch error
+// cannot duplicate bytes).
+func (l *Log) writeRetry(f File, b []byte) error {
+	off := 0
+	var err error
+	for attempt := 0; ; attempt++ {
+		var n int
+		n, err = f.Write(b[off:])
+		off += n
+		if off == len(b) && err == nil {
+			return nil
+		}
+		if attempt >= l.maxRetries {
+			break
+		}
+		if err != nil {
+			if l.stats != nil {
+				l.stats.Retries.Inc()
+			}
+			l.sleep(l.backoff << uint(attempt))
+		}
+	}
+	if err == nil {
+		err = errors.New("short write")
+	}
+	return err
+}
+
+// syncRetry fsyncs with the same retry/backoff policy.
+func (l *Log) syncRetry(f File) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = f.Sync(); err == nil {
+			if l.stats != nil {
+				l.stats.Fsyncs.Inc()
+			}
+			return nil
+		}
+		if attempt >= l.maxRetries {
+			return err
+		}
+		if l.stats != nil {
+			l.stats.Retries.Inc()
+		}
+		l.sleep(l.backoff << uint(attempt))
+	}
+}

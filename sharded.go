@@ -142,10 +142,19 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
 	}
 	sh.tr = tr
-	return &ShardedMap{
+	sm := &ShardedMap{
 		wrap: wrap{m: sh, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr},
 		n:    shards,
-	}, nil
+	}
+	if cfg.Durability != nil {
+		// The WAL shards by the same internal-key residue as the map,
+		// so each shard's log is ordered by that shard's update
+		// serialization.
+		if err := sm.enableDurability(cfg, shards); err != nil {
+			return nil, err
+		}
+	}
+	return sm, nil
 }
 
 // shardedInner composes the per-shard structures behind the facade's
@@ -273,6 +282,43 @@ func (sh *shardedInner) RangeQuery(th *core.Thread, lo, hi uint64, out []core.KV
 		// snapshot. Discard everything and redo the whole fan-out.
 		if tr != nil {
 			tr.Span(th.ID, trace.PhaseSourceSwitch, mark)
+		}
+		out = out[:base]
+	}
+}
+
+// SnapshotAll collects every pair in [lo, hi] (internal keys) from
+// every shard at one shared-source bound and returns the bound with
+// the collection — the snapshot flusher's primitive. It is RangeQuery
+// with every shard hit, the bound exposed, and the same generation-
+// revalidation retry.
+func (sh *shardedInner) SnapshotAll(th *core.Thread, lo, hi uint64, out []core.KV) ([]core.KV, core.TS) {
+	n := len(sh.inners)
+	base := len(out)
+	for {
+		for i := 0; i < n; i++ {
+			th.Shard(i).BeginRQ()
+		}
+		var s core.TS
+		switch {
+		case sh.provs != nil:
+			for i := 0; i < n; i++ {
+				sh.provs[i].RQLock()
+			}
+			s = sh.src.Snapshot()
+			for i := 0; i < n; i++ {
+				sh.provs[i].RQUnlock()
+			}
+		case sh.peek:
+			s = sh.src.Peek()
+		default:
+			s = sh.src.Snapshot()
+		}
+		for i := 0; i < n; i++ {
+			out = sh.ats[i].RangeQueryAt(th.Shard(i), lo, hi, s, out)
+		}
+		if core.SnapshotValid(sh.src, s) {
+			return out, s
 		}
 		out = out[:base]
 	}

@@ -35,7 +35,6 @@ package tscds
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"tscds/internal/citrus"
@@ -199,6 +198,13 @@ type Config struct {
 	// non-Adaptive sources. A nil Health leaves an Adaptive source
 	// pinned to hardware.
 	Health *TSCHealth
+	// Durability, when non-nil, makes the Map crash-safe: every
+	// successful update is appended to a per-shard write-ahead log
+	// (group-committed, CRC-protected) and snapshots of the whole map
+	// are flushed at single source timestamps with writers running.
+	// Opening over a non-empty directory recovers the durable state
+	// before the constructor returns. See Durability and DurableMap.
+	Durability *Durability
 }
 
 // TSCHealth monitors whether the hardware timestamp counter actually
@@ -358,6 +364,11 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 	}
 	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr}
 	wireSinks(m, cfg.Metrics, tr, cfg.Alloc)
+	if cfg.Durability != nil {
+		if err := w.enableDurability(cfg, 1); err != nil {
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
@@ -497,6 +508,7 @@ type wrap struct {
 	shift   uint64
 	obs     *obs.Registry
 	tr      *trace.Recorder
+	dur     *durable // durability layer; nil unless Config.Durability
 }
 
 func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
@@ -510,31 +522,17 @@ func (w *wrap) observe(th *Thread, oo obs.OpClass, to trace.Op, start time.Time)
 	w.tr.OpEnd(th.ID, to, uint64(el.Nanoseconds()))
 }
 
+// Insert discards the durability acknowledgment; durable callers who
+// need it use InsertDurable (a persistent log failure also surfaces on
+// WALError).
 func (w *wrap) Insert(th *Thread, key, val uint64) bool {
-	if key > MaxKey {
-		return false
-	}
-	if w.obs == nil && w.tr == nil {
-		return w.m.Insert(th, key+w.shift, val)
-	}
-	w.tr.OpBegin(th.ID, trace.OpUpdate)
-	start := time.Now()
-	ok := w.m.Insert(th, key+w.shift, val)
-	w.observe(th, obs.OpUpdate, trace.OpUpdate, start)
+	ok, _ := w.InsertDurable(th, key, val)
 	return ok
 }
 
+// Delete mirrors Insert; see DeleteDurable for the acknowledged form.
 func (w *wrap) Delete(th *Thread, key uint64) bool {
-	if key > MaxKey {
-		return false
-	}
-	if w.obs == nil && w.tr == nil {
-		return w.m.Delete(th, key+w.shift)
-	}
-	w.tr.OpBegin(th.ID, trace.OpUpdate)
-	start := time.Now()
-	ok := w.m.Delete(th, key+w.shift)
-	w.observe(th, obs.OpUpdate, trace.OpUpdate, start)
+	ok, _ := w.DeleteDurable(th, key)
 	return ok
 }
 
@@ -597,7 +595,7 @@ func (w *wrap) rangeQuery(th *Thread, lo, hi uint64, buf []KV) []KV {
 
 func (w *wrap) Scan(th *Thread, lo, hi uint64, fn func(KV) bool) {
 	kvs := w.RangeQuery(th, lo, hi, nil)
-	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	core.SortKVs(kvs)
 	for _, kv := range kvs {
 		if !fn(kv) {
 			return
