@@ -11,6 +11,8 @@ test:
 # check is the pre-commit gate: static checks, race-enabled tests on the
 # concurrency-sensitive packages, and the short-mode linearizability
 # matrix (every supported structure x technique x source combination).
+# The ./internal/obs/... wildcard covers the telemetry pipeline too:
+# obs itself plus obs/promparse, obs/series and obs/trace.
 check:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \

@@ -15,11 +15,22 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tscds"
 	"tscds/internal/bench"
+	"tscds/internal/obs"
+	"tscds/internal/obs/series"
 	"tscds/internal/sim"
+)
+
+// curMetrics/curTracer/curLabel track the native arm currently running
+// so the -serve endpoint and series collector read live state.
+var (
+	curMetrics atomic.Pointer[tscds.Metrics]
+	curTracer  atomic.Pointer[tscds.Tracer]
+	curLabel   atomic.Pointer[string]
 )
 
 func main() {
@@ -30,7 +41,46 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump a metrics snapshot (JSON) per native arm")
 	traceFlag := flag.Bool("trace", false, "print per-phase flight-trace breakdowns per native arm")
 	out := flag.String("out", "", "also write the report to this file")
+	serveAddr := flag.String("serve", "", "serve live /metrics(.prom), /trace, /series and /events for the native arms on this address")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		watchdog := obs.NewWatchdog(obs.DefaultRules(), nil)
+		collector := series.New(series.Config{
+			Label: func() string {
+				if l := curLabel.Load(); l != nil {
+					return *l
+				}
+				return ""
+			},
+			Metrics:  func() *tscds.Metrics { return curMetrics.Load() },
+			Watchdog: watchdog,
+		})
+		collector.Start()
+		defer collector.Stop()
+		srv, err := obs.Serve(*serveAddr, map[string]obs.Var{
+			"metrics": obs.Live(func() obs.Var {
+				if reg := curMetrics.Load(); reg != nil {
+					return reg
+				}
+				return nil
+			}),
+			"trace": obs.Live(func() obs.Var {
+				if tr := curTracer.Load(); tr != nil {
+					return tr
+				}
+				return nil
+			}),
+			"series": collector,
+			"events": watchdog,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving stats on http://%s/metrics\n", srv.Addr())
+	}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -143,6 +193,10 @@ func native(w io.Writer, d time.Duration, keyRange uint64, metrics, traceOn bool
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			curMetrics.Store(cfg.Metrics)
+			curTracer.Store(mp.Tracer())
+			label := fmt.Sprintf("%s/%v", c.label, src)
+			curLabel.Store(&label)
 			if act := mp.SourceActual(); act != src {
 				fmt.Fprintf(os.Stderr, "warning: %s: source %v is served by %v on this host; the %v column measures %v\n",
 					c.label, src, act, src, act)

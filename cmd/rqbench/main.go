@@ -28,6 +28,7 @@ import (
 	"tscds"
 	"tscds/internal/bench"
 	"tscds/internal/obs"
+	"tscds/internal/obs/series"
 	"tscds/internal/sim"
 	"tscds/internal/tsc"
 )
@@ -54,14 +55,21 @@ var (
 	shardCount int
 )
 
-// curMetrics and curTracer always point at the arm currently running, so
-// the -serve endpoint reads live state across arm changes. tscHealth is
-// the process-wide TSC health monitor (-trace only).
+// curMetrics, curTracer, curHealth and curLabel always point at the arm
+// currently running, so the -serve endpoint and the series collector
+// read live state across arm changes. tscHealth is the process-wide TSC
+// health monitor (-trace only); figures that build per-arm monitors
+// (adaptive) re-point curHealth at theirs.
 var (
 	curMetrics atomic.Pointer[tscds.Metrics]
 	curTracer  atomic.Pointer[tscds.Tracer]
+	curHealth  atomic.Pointer[tsc.Health]
+	curLabel   atomic.Pointer[string]
 	tscHealth  *tsc.Health
 )
+
+// setArmLabel names the arm currently running for the series collector.
+func setArmLabel(label string) { curLabel.Store(&label) }
 
 // newMap builds an arm's map, attaching a fresh metrics registry when
 // -metrics is set and a flight recorder when -trace is set. With
@@ -191,56 +199,22 @@ func writeBenchFile(path string, b []byte) {
 	}
 }
 
-// metricSample is one -metrics-interval observation.
-type metricSample struct {
-	Label     string          `json:"label"`
-	ElapsedMS int64           `json:"elapsed_ms"`
-	Metrics   json.RawMessage `json:"metrics"`
-}
-
-// sampler collects periodic metrics snapshots across every arm into one
-// time series (satisfying the BENCH_*.json shape: an array of labeled,
-// timestamped snapshot objects).
-type sampler struct {
-	mu      sync.Mutex
-	epoch   time.Time
-	samples []metricSample
-}
-
-// run polls reg every interval until stop is closed, labeling samples.
-func (sm *sampler) run(label string, reg *tscds.Metrics, interval time.Duration, stop <-chan struct{}) {
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-			sm.mu.Lock()
-			sm.samples = append(sm.samples, metricSample{
-				Label:     label,
-				ElapsedMS: time.Since(sm.epoch).Milliseconds(),
-				Metrics:   json.RawMessage(reg.String()),
-			})
-			sm.mu.Unlock()
-		}
-	}
-}
-
-// write dumps the series to path (no file when nothing was sampled).
-func (sm *sampler) write(path string) {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	if len(sm.samples) == 0 {
+// writeMetricsSeries dumps the collector's retained points to path as a
+// JSON array (no file when nothing was sampled). The point shape keeps
+// the label/elapsed_ms/metrics keys the old -metrics-interval sampler
+// wrote, now with at_unix_ms, health and per-interval rates alongside.
+func writeMetricsSeries(c *series.Collector, path string) {
+	points := c.Points()
+	if len(points) == 0 {
 		return
 	}
-	b, err := json.MarshalIndent(sm.samples, "", " ")
+	b, err := json.MarshalIndent(points, "", " ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rqbench: writing %s: %v\n", path, err)
 		os.Exit(1)
 	}
 	writeBenchFile(path, append(b, '\n'))
-	fmt.Printf("metrics-series: wrote %d samples to %s\n", len(sm.samples), path)
+	fmt.Printf("metrics-series: wrote %d samples to %s\n", len(points), path)
 }
 
 // customFigure parses "structure/technique" into a single-arm figure.
@@ -404,6 +378,9 @@ func runAdaptiveFigure(threads []int, wl bench.Workload, duration time.Duration,
 		if metricsOn {
 			cfg.Metrics = tscds.NewMetrics()
 		}
+		if traceOn {
+			cfg.Trace = &tscds.TraceConfig{}
+		}
 		var health *tscds.TSCHealth
 		if src == tscds.Adaptive {
 			health = tscds.NewTSCHealth(512)
@@ -417,6 +394,12 @@ func runAdaptiveFigure(threads []int, wl bench.Workload, duration time.Duration,
 		warnSubstituted(m, src)
 		curMetrics.Store(cfg.Metrics)
 		curTracer.Store(m.Tracer())
+		if health != nil {
+			curHealth.Store(health)
+		} else {
+			curHealth.Store(tscHealth)
+		}
+		setArmLabel(fmt.Sprintf("%s %s", name, wl.Label()))
 		if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -543,6 +526,7 @@ func runAllocFigure(threads []int, wl bench.Workload, duration time.Duration, tr
 			warnSubstituted(m, src)
 			curMetrics.Store(cfg.Metrics)
 			curTracer.Store(m.Tracer())
+			setArmLabel(fmt.Sprintf("%s %s", name, wl.Label()))
 			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -697,6 +681,7 @@ func runDurabilityFigure(threads []int, wl bench.Workload, duration time.Duratio
 			warnSubstituted(m, src)
 			curMetrics.Store(cfg.Metrics)
 			curTracer.Store(m.Tracer())
+			setArmLabel(fmt.Sprintf("%s %s", name, wl.Label()))
 			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -783,7 +768,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "native: dump a metrics snapshot (JSON) per arm after its runs")
 	traceFlag := flag.Bool("trace", false, "native: record per-phase flight traces, print breakdowns per arm, monitor TSC health")
 	metricsInterval := flag.Duration("metrics-interval", 0, "native: with -metrics, sample snapshots at this interval into BENCH_metrics.json")
-	serveAddr := flag.String("serve", "", "native: serve live /metrics, /trace and /tschealth on this address (e.g. :8080)")
+	serveAddr := flag.String("serve", "", "native: serve live /metrics(.prom), /trace, /tschealth, /series and /events on this address (e.g. :8080)")
+	serveLinger := flag.Duration("serve-linger", 0, "native: keep the -serve endpoint up this long after the figures finish (scrape window for CI/dashboards)")
 	shardsFlag := flag.Int("shards", 1, "native: partition each map across this many shards (figure 'shard' sweeps 1,2,4,8 itself)")
 	injectEvery := flag.Duration("inject-every", 100*time.Millisecond, "figure adaptive: TSC-backstep injection period (0 disables)")
 	syncSweep := flag.String("sync-every", "0,1,64", "figure durability: comma-separated SyncEvery arms (0 = WAL off)")
@@ -794,32 +780,77 @@ func main() {
 
 	if traceOn {
 		tscHealth = tsc.NewHealth(512)
+		curHealth.Store(tscHealth)
 	}
+
+	// The series collector runs whenever anything consumes it: the
+	// BENCH_metrics.json time series (-metrics -metrics-interval) or the
+	// live endpoint (-serve). Its watchdog turns snapshot deltas into
+	// /events entries.
+	var collector *series.Collector
+	var watchdog *obs.Watchdog
+	if *serveAddr != "" || (metricsOn && *metricsInterval > 0) {
+		iv := *metricsInterval
+		if iv <= 0 {
+			iv = time.Second
+		}
+		watchdog = obs.NewWatchdog(obs.DefaultRules(), nil)
+		collector = series.New(series.Config{
+			Interval: iv,
+			Label: func() string {
+				if l := curLabel.Load(); l != nil {
+					return *l
+				}
+				return ""
+			},
+			Metrics:  func() *tscds.Metrics { return curMetrics.Load() },
+			Health:   func() *tsc.Health { return curHealth.Load() },
+			Watchdog: watchdog,
+		})
+		collector.Start()
+		defer func() {
+			collector.Stop()
+			if metricsOn && *metricsInterval > 0 {
+				writeMetricsSeries(collector, "BENCH_metrics.json")
+			}
+		}()
+	}
+
 	if *serveAddr != "" {
 		srv, err := obs.Serve(*serveAddr, map[string]obs.Var{
-			"metrics": obs.Func(func() string {
+			"metrics": obs.Live(func() obs.Var {
 				if reg := curMetrics.Load(); reg != nil {
-					return reg.String()
+					return reg
 				}
-				return "{}"
+				return nil
 			}),
-			"trace": obs.Func(func() string {
-				return curTracer.Load().String()
+			"trace": obs.Live(func() obs.Var {
+				if tr := curTracer.Load(); tr != nil {
+					return tr
+				}
+				return nil
 			}),
-			"tschealth": obs.Func(func() string {
-				return tscHealth.String()
+			"tschealth": obs.Live(func() obs.Var {
+				if h := curHealth.Load(); h != nil {
+					return h
+				}
+				return nil
 			}),
+			"series": collector,
+			"events": watchdog,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
+		if *serveLinger > 0 {
+			defer func() {
+				fmt.Printf("lingering %v for scrapers (-serve-linger)\n", *serveLinger)
+				time.Sleep(*serveLinger)
+			}()
+		}
 		fmt.Printf("serving stats on http://%s/metrics\n", srv.Addr())
-	}
-	series := &sampler{epoch: time.Now()}
-	if metricsOn && *metricsInterval > 0 {
-		defer series.write("BENCH_metrics.json")
 	}
 
 	if *custom != "" {
@@ -1032,11 +1063,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
-				var stopSample chan struct{}
-				if mreg != nil && *metricsInterval > 0 {
-					stopSample = make(chan struct{})
-					go series.run(fmt.Sprintf("%s %s", name, wl.Label()), mreg, *metricsInterval, stopSample)
-				}
+				setArmLabel(fmt.Sprintf("%s %s", name, wl.Label()))
 				for _, n := range threads {
 					res, err := bench.Run(m, m, wl, benchOptions(bench.Options{
 						Threads: n, Duration: *duration, Trials: *trials, Pin: true, Seed: 7,
@@ -1046,9 +1073,6 @@ func main() {
 						os.Exit(1)
 					}
 					results[name] = append(results[name], res)
-				}
-				if stopSample != nil {
-					close(stopSample)
 				}
 				dumpMetrics(fmt.Sprintf("%s %s", name, wl.Label()), mreg)
 				dumpTrace(fmt.Sprintf("%s %s", name, wl.Label()), m)

@@ -124,9 +124,16 @@ func (h *Histogram) ObserveNS(ns uint64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// QuantileNS returns an upper-bound estimate (the bucket boundary) of the
-// q-quantile in nanoseconds, for q in (0, 1]. With concurrent writers the
-// estimate is approximate in the usual monitoring sense.
+// QuantileNS estimates the q-quantile in nanoseconds, for q in (0, 1],
+// by log-linear interpolation: the winning log2 bucket is located by
+// rank, then the estimate moves linearly across that bucket's
+// [2^(i-1), 2^i) span according to the rank's position among the
+// bucket's own observations. (Reporting the bucket boundary instead —
+// what this function did originally — biased every quantile high by up
+// to the 2x bucket width.) Estimates never exceed the observed maximum,
+// and the unbounded tail bucket reports the maximum directly. With
+// concurrent writers the estimate is approximate in the usual
+// monitoring sense.
 func (h *Histogram) QuantileNS(q float64) uint64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -141,10 +148,33 @@ func (h *Histogram) QuantileNS(q float64) uint64 {
 	}
 	var cum uint64
 	for i := 0; i < HistBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			return BucketUpperNS(i)
+		n := h.buckets[i].Load()
+		if cum+n < rank {
+			cum += n
+			continue
 		}
+		if i == 0 {
+			return 0 // the zero bucket holds only zero observations
+		}
+		max := h.max.Load()
+		if i == HistBuckets-1 {
+			// Unbounded tail: the observed maximum is the only finite
+			// bound available.
+			return max
+		}
+		lo := uint64(1) << uint(i-1) // inclusive lower bound, width == lo
+		pos := float64(rank-cum) / float64(n)
+		est := uint64(float64(lo) + pos*float64(lo))
+		if up := 2*lo - 1; est > up {
+			est = up
+		}
+		if est < lo {
+			est = lo
+		}
+		if max > 0 && est > max {
+			est = max
+		}
+		return est
 	}
 	return BucketUpperNS(HistBuckets - 1)
 }
@@ -352,6 +382,7 @@ type Registry struct {
 	WAL      WALStats
 	kind     atomic.Pointer[string]
 	actual   atomic.Pointer[string]
+	strucLbl atomic.Pointer[string]
 	alloc    atomic.Pointer[string]
 	walMode  atomic.Pointer[string]
 	shards   atomic.Pointer[[]*ShardStats]
@@ -377,6 +408,12 @@ func (r *Registry) SetSourceKind(kind string) { r.kind.Store(&kind) }
 // differs from the requested kind (silent-fallback disclosure). Pass
 // the requested kind's label to clear.
 func (r *Registry) SetSourceActual(actual string) { r.actual.Store(&actual) }
+
+// SetStructure records the structure/technique label ("bst/vcas", ...)
+// reported in snapshots and attached as the structure= label on every
+// Prometheus family the registry exports. When several structures share
+// one registry the last label wins.
+func (r *Registry) SetStructure(s string) { r.strucLbl.Store(&s) }
 
 // SetAllocMode records the allocation-mode label ("Pool", "Arena")
 // reported with the pool stats in snapshots. Left unset, the pool
@@ -427,9 +464,12 @@ func (r *Registry) Shard(i int) *ShardStats {
 // marshals to the JSON shape documented in the README's Observability
 // section.
 type Snapshot struct {
-	Source SourceSnapshot          `json:"source"`
-	Ops    map[string]HistSnapshot `json:"ops"`
-	GC     GCSnapshot              `json:"gc"`
+	// Structure is the structure/technique label set by SetStructure
+	// ("bst/vcas", ...); empty when the registry is not wired to a map.
+	Structure string                  `json:"structure,omitempty"`
+	Source    SourceSnapshot          `json:"source"`
+	Ops       map[string]HistSnapshot `json:"ops"`
+	GC        GCSnapshot              `json:"gc"`
 	// Pool is present only for registries wired to a pooled or arena
 	// allocator (SetAllocMode was called).
 	Pool *PoolSnapshot `json:"pool,omitempty"`
@@ -455,6 +495,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if k := r.kind.Load(); k != nil {
 		s.Source.Kind = *k
+	}
+	if st := r.strucLbl.Load(); st != nil {
+		s.Structure = *st
 	}
 	if a := r.actual.Load(); a != nil && (s.Source.Kind == "" || *a != s.Source.Kind) {
 		s.Source.Actual = *a

@@ -73,13 +73,52 @@ func TestHistogramObserve(t *testing.T) {
 	if total != 4 {
 		t.Fatalf("bucket counts sum to %d, want 4", total)
 	}
-	// p50 of {0,5,5,1000}: rank 2 lands on a 5 -> bucket [4,8), bound 7.
-	if s.P50NS != 7 {
-		t.Fatalf("p50 = %d, want 7", s.P50NS)
+	// p50 of {0,5,5,1000}: rank 2 lands on a 5 -> bucket [4,7], halfway
+	// through it by rank -> log-linear estimate 4 + 0.5*4 = 6.
+	if s.P50NS != 6 {
+		t.Fatalf("p50 = %d, want 6", s.P50NS)
 	}
-	// p99: rank 4 lands on 1000 -> bucket [512,1024), bound 1023.
-	if s.P99NS != 1023 {
-		t.Fatalf("p99 = %d, want 1023", s.P99NS)
+	// p99: rank 4 lands on 1000 -> bucket [512,1023], rank at the bucket
+	// top -> estimate clamps to the bucket bound, then to the observed
+	// max (1000).
+	if s.P99NS != 1000 {
+		t.Fatalf("p99 = %d, want 1000", s.P99NS)
+	}
+}
+
+// The log-linear interpolation must keep quantile estimates close to
+// the true values on a known distribution: uniform 1..100000 ns spans
+// buckets whose widths reach 2^16, where the old report-the-bucket-
+// bound estimator was off by up to 31% at p50.
+func TestQuantileInterpolationErrorBounds(t *testing.T) {
+	var h Histogram
+	const n = 100_000
+	for i := uint64(1); i <= n; i++ {
+		h.ObserveNS(i)
+	}
+	cases := []struct {
+		q      float64
+		truth  float64
+		maxErr float64 // relative
+	}{
+		{0.50, 50_000, 0.02},
+		{0.95, 95_000, 0.06},
+		{0.99, 99_000, 0.02},
+	}
+	for _, c := range cases {
+		got := float64(h.QuantileNS(c.q))
+		rel := (got - c.truth) / c.truth
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > c.maxErr {
+			t.Errorf("p%.0f = %.0f, truth %.0f: relative error %.3f exceeds %.3f",
+				100*c.q, got, c.truth, rel, c.maxErr)
+		}
+	}
+	// The estimate must never exceed the observed max.
+	if q := h.QuantileNS(1.0); q > n {
+		t.Errorf("p100 = %d exceeds observed max %d", q, n)
 	}
 }
 

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromVar is the optional capability a Var may implement to appear in
+// the Prometheus text exposition (/metrics.prom, and /metrics under
+// Accept negotiation). WriteProm writes zero or more complete metric
+// families in text exposition format 0.0.4: every family introduced by
+// its # HELP and # TYPE lines, histogram buckets cumulative and
+// +Inf-terminated. *Registry implements it; so does *tsc.Health
+// (structurally — this package never imports tsc).
+type PromVar interface {
+	WriteProm(w io.Writer)
+}
+
+// PromEscape escapes a label value per the text exposition format
+// (backslash, double quote, and newline).
+func PromEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabel is one label pair, pre-escaped at render time.
+type promLabel struct{ k, v string }
+
+// promLabels renders an ordered label set; an empty set renders as "".
+func promLabels(ls []promLabel) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.k)
+		b.WriteString(`="`)
+		b.WriteString(PromEscape(l.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promHead writes a family's # HELP and # TYPE metadata.
+func promHead(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promU64 writes one sample with an integer value.
+func promU64(w io.Writer, name string, ls []promLabel, v uint64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, promLabels(ls), v)
+}
+
+// promI64 writes one sample with a signed integer value.
+func promI64(w io.Writer, name string, ls []promLabel, v int64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, promLabels(ls), v)
+}
+
+// promF64 writes one sample with a float value.
+func promF64(w io.Writer, name string, ls []promLabel, v float64) {
+	fmt.Fprintf(w, "%s%s %g\n", name, promLabels(ls), v)
+}
+
+// with returns ls extended by one pair (copy; ls is never mutated).
+func with(ls []promLabel, k, v string) []promLabel {
+	out := make([]promLabel, len(ls), len(ls)+1)
+	copy(out, ls)
+	return append(out, promLabel{k, v})
+}
+
+// WriteProm renders the registry as Prometheus text-format families:
+// op counters and latency histograms (cumulative _bucket/_sum/_count,
+// le in nanoseconds), timestamp-source counters, GC/reclamation
+// counters, and — when the registry is wired to them — pool, WAL and
+// per-shard families. The structure= and source= labels carry the
+// SetStructure/SetSourceKind identity on every sample; shard families
+// add shard=. Nil-safe (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+	var base []promLabel
+	if s.Structure != "" {
+		base = append(base, promLabel{"structure", s.Structure})
+	}
+	if s.Source.Kind != "" {
+		base = append(base, promLabel{"source", s.Source.Kind})
+	}
+	classes := []OpClass{OpUpdate, OpRange, OpContains}
+
+	promHead(w, "tscds_ops_total", "Completed operations by class.", "counter")
+	for _, c := range classes {
+		promU64(w, "tscds_ops_total", with(base, "class", c.String()), s.Ops[c.String()].Count)
+	}
+
+	promHead(w, "tscds_op_latency_ns", "Operation latency in nanoseconds (log2 buckets; le is the bucket's inclusive upper bound).", "histogram")
+	for _, c := range classes {
+		op := s.Ops[c.String()]
+		lb := with(base, "class", c.String())
+		var cum uint64
+		for _, b := range op.Buckets {
+			cum += b.Count
+			if b.UpToNS == ^uint64(0) {
+				continue // the unbounded tail is the +Inf bucket below
+			}
+			promU64(w, "tscds_op_latency_ns_bucket", with(lb, "le", fmt.Sprintf("%d", b.UpToNS)), cum)
+		}
+		// +Inf and _count both report the bucket-derived total so the
+		// exposition is internally consistent even while writers run.
+		promU64(w, "tscds_op_latency_ns_bucket", with(lb, "le", "+Inf"), cum)
+		promU64(w, "tscds_op_latency_ns_sum", lb, op.SumNS)
+		promU64(w, "tscds_op_latency_ns_count", lb, cum)
+	}
+
+	src := base
+	promHead(w, "tscds_source_advances_total", "Timestamp-source Advance calls (one fetch-and-add per call on a logical source).", "counter")
+	promU64(w, "tscds_source_advances_total", src, s.Source.Advances)
+	promHead(w, "tscds_source_peeks_total", "Timestamp-source Peek calls.", "counter")
+	promU64(w, "tscds_source_peeks_total", src, s.Source.Peeks)
+	promHead(w, "tscds_source_snapshots_total", "Range-query snapshot-bound acquisitions.", "counter")
+	promU64(w, "tscds_source_snapshots_total", src, s.Source.Snapshots)
+	promHead(w, "tscds_source_stalls_total", "AdvanceStrict spin-budget exhaustions (frozen or severely degraded source).", "counter")
+	promU64(w, "tscds_source_stalls_total", src, s.Source.Stalls)
+	promHead(w, "tscds_source_snapshot_retries_total", "Range-query snapshots discarded and re-run after an adaptive-source generation switch.", "counter")
+	promU64(w, "tscds_source_snapshot_retries_total", src, s.Source.SnapshotRetries)
+
+	actual := s.Source.Actual
+	if actual == "" {
+		actual = s.Source.Kind
+	}
+	promHead(w, "tscds_source_info", "Requested and actually-serving timestamp source (value is always 1).", "gauge")
+	info := base
+	info = with(info, "requested", s.Source.Kind)
+	info = with(info, "actual", actual)
+	promU64(w, "tscds_source_info", info, 1)
+
+	promHead(w, "tscds_gc_bundle_entries_pruned_total", "Bundle history entries dropped by truncation.", "counter")
+	promU64(w, "tscds_gc_bundle_entries_pruned_total", base, s.GC.BundleEntriesPruned)
+	promHead(w, "tscds_gc_vcas_versions_pruned_total", "vCAS versions dropped by chain truncation.", "counter")
+	promU64(w, "tscds_gc_vcas_versions_pruned_total", base, s.GC.VcasVersionsPruned)
+	promHead(w, "tscds_gc_limbo_retired_total", "Nodes placed on EBR-RQ limbo lists.", "counter")
+	promU64(w, "tscds_gc_limbo_retired_total", base, s.GC.LimboRetired)
+	promHead(w, "tscds_gc_limbo_pruned_total", "Limbo nodes released by epoch and range-query retention.", "counter")
+	promU64(w, "tscds_gc_limbo_pruned_total", base, s.GC.LimboPruned)
+	promHead(w, "tscds_gc_limbo_len", "Current total limbo population.", "gauge")
+	promI64(w, "tscds_gc_limbo_len", base, s.GC.LimboLen)
+
+	if p := s.Pool; p != nil {
+		pl := with(base, "mode", p.Mode)
+		promHead(w, "tscds_pool_hits_total", "Allocations served from a per-thread free list or arena chunk.", "counter")
+		promU64(w, "tscds_pool_hits_total", pl, p.Hits)
+		promHead(w, "tscds_pool_misses_total", "Allocations that fell through to the runtime allocator.", "counter")
+		promU64(w, "tscds_pool_misses_total", pl, p.Misses)
+		promHead(w, "tscds_pool_recycled_total", "Retired nodes proven unreachable and recycled to free lists.", "counter")
+		promU64(w, "tscds_pool_recycled_total", pl, p.Recycled)
+	}
+
+	if wal := s.WAL; wal != nil {
+		wl := with(base, "mode", wal.Mode)
+		promHead(w, "tscds_wal_appends_total", "WAL records appended.", "counter")
+		promU64(w, "tscds_wal_appends_total", wl, wal.Appends)
+		promHead(w, "tscds_wal_appended_bytes_total", "Encoded bytes appended to the WAL.", "counter")
+		promU64(w, "tscds_wal_appended_bytes_total", wl, wal.AppendedBytes)
+		promHead(w, "tscds_wal_batches_total", "Group-commit write batches.", "counter")
+		promU64(w, "tscds_wal_batches_total", wl, wal.Batches)
+		promHead(w, "tscds_wal_fsyncs_total", "Successful fsyncs (segment and snapshot files).", "counter")
+		promU64(w, "tscds_wal_fsyncs_total", wl, wal.Fsyncs)
+		promHead(w, "tscds_wal_retries_total", "Transient write/fsync errors absorbed by retry-with-backoff.", "counter")
+		promU64(w, "tscds_wal_retries_total", wl, wal.Retries)
+		promHead(w, "tscds_wal_errors_total", "Persistent WAL failures (sticky; durability broken, map serving from memory).", "counter")
+		promU64(w, "tscds_wal_errors_total", wl, wal.Errors)
+		promHead(w, "tscds_wal_snapshot_flushes_total", "Whole-map snapshot flushes.", "counter")
+		promU64(w, "tscds_wal_snapshot_flushes_total", wl, wal.SnapshotFlushes)
+		promHead(w, "tscds_wal_snapshot_failures_total", "Snapshot flush attempts that failed.", "counter")
+		promU64(w, "tscds_wal_snapshot_failures_total", wl, wal.SnapshotFailures)
+		promHead(w, "tscds_wal_snapshot_keys_total", "Keys written by snapshot flushes.", "counter")
+		promU64(w, "tscds_wal_snapshot_keys_total", wl, wal.SnapshotKeys)
+		promHead(w, "tscds_wal_segments_pruned_total", "Sealed segments removed once covered by a snapshot.", "counter")
+		promU64(w, "tscds_wal_segments_pruned_total", wl, wal.SegmentsPruned)
+		promHead(w, "tscds_wal_torn_skipped_total", "Torn tail records discarded during recovery.", "counter")
+		promU64(w, "tscds_wal_torn_skipped_total", wl, wal.TornSkipped)
+	}
+
+	if len(s.Shards) > 0 {
+		promHead(w, "tscds_shard_ops_total", "Point operations routed to each shard by the key partition.", "counter")
+		for i, sh := range s.Shards {
+			promU64(w, "tscds_shard_ops_total", with(base, "shard", fmt.Sprintf("%d", i)), sh.Ops)
+		}
+		promHead(w, "tscds_shard_rqs_total", "Range-query collections that visited each shard.", "counter")
+		for i, sh := range s.Shards {
+			promU64(w, "tscds_shard_rqs_total", with(base, "shard", fmt.Sprintf("%d", i)), sh.RQs)
+		}
+	}
+}

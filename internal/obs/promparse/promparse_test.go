@@ -1,0 +1,126 @@
+package promparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const good = `# HELP t_ops_total Completed operations.
+# TYPE t_ops_total counter
+t_ops_total{class="update"} 100
+t_ops_total{class="range"} 7
+# HELP t_lat_ns Latency histogram.
+# TYPE t_lat_ns histogram
+t_lat_ns_bucket{class="update",le="1"} 10
+t_lat_ns_bucket{class="update",le="2"} 60
+t_lat_ns_bucket{class="update",le="+Inf"} 100
+t_lat_ns_sum{class="update"} 12345
+t_lat_ns_count{class="update"} 100
+# HELP t_gauge A gauge.
+# TYPE t_gauge gauge
+t_gauge -3.5
+`
+
+func TestParseConformant(t *testing.T) {
+	res, diags := Parse([]byte(good))
+	if len(diags) > 0 {
+		t.Fatalf("diagnostics on conformant input: %v", diags)
+	}
+	if len(res.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(res.Families))
+	}
+	if v, ok := res.Value("t_ops_total", map[string]string{"class": "update"}); !ok || v != 100 {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	if v, ok := res.Value("t_lat_ns_bucket", map[string]string{"le": "+Inf"}); !ok || v != 100 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := res.Value("t_gauge", nil); !ok || v != -3.5 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+}
+
+// Each mutation of the conformant exposition must produce at least one
+// diagnostic mentioning the expected substring.
+func TestParseDiagnostics(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		mention string
+	}{
+		{"missing TYPE", func(s string) string {
+			return strings.Replace(s, "# TYPE t_ops_total counter\n", "", 1)
+		}, "no # TYPE"},
+		{"missing HELP", func(s string) string {
+			return strings.Replace(s, "# HELP t_gauge A gauge.\n", "", 1)
+		}, "no # HELP"},
+		{"duplicate series", func(s string) string {
+			return s + "t_gauge -3.5\n"
+		}, "duplicate series"},
+		{"illegal metric name", func(s string) string {
+			return s + "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n"
+		}, "illegal metric name"},
+		{"illegal label name", func(s string) string {
+			return strings.Replace(s, `class="range"`, `9class="range"`, 1)
+		}, "illegal label name"},
+		{"non-cumulative buckets", func(s string) string {
+			return strings.Replace(s, `le="2"} 60`, `le="2"} 5`, 1)
+		}, "not cumulative"},
+		{"missing +Inf", func(s string) string {
+			return strings.Replace(s, "t_lat_ns_bucket{class=\"update\",le=\"+Inf\"} 100\n", "", 1)
+		}, "+Inf"},
+		{"Inf disagrees with count", func(s string) string {
+			return strings.Replace(s, `le="+Inf"} 100`, `le="+Inf"} 99`, 1)
+		}, "_count"},
+		{"missing sum", func(s string) string {
+			return strings.Replace(s, "t_lat_ns_sum{class=\"update\"} 12345\n", "", 1)
+		}, "missing _sum"},
+		{"unterminated label value", func(s string) string {
+			return s + "t_gauge{x=\"oops} 1\n"
+		}, "unterminated"},
+		{"bad escape", func(s string) string {
+			return s + "t_gauge{x=\"a\\q\"} 1\n"
+		}, "bad escape"},
+		{"bad value", func(s string) string {
+			return s + "# HELP t_v x\n# TYPE t_v counter\nt_v banana\n"
+		}, "bad value"},
+		{"le not increasing", func(s string) string {
+			return strings.Replace(s, `le="2"} 60`, `le="0.5"} 60`, 1)
+		}, "not increasing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, diags := Parse([]byte(c.mutate(good)))
+			if len(diags) == 0 {
+				t.Fatalf("no diagnostics for %s", c.name)
+			}
+			for _, d := range diags {
+				if strings.Contains(d, c.mention) {
+					return
+				}
+			}
+			t.Fatalf("no diagnostic mentions %q; got %v", c.mention, diags)
+		})
+	}
+}
+
+func TestParseEscapedLabelValues(t *testing.T) {
+	in := "# HELP t x\n# TYPE t gauge\nt{v=\"a\\\\b\\\"c\\nd\"} 1\n"
+	res, diags := Parse([]byte(in))
+	if len(diags) > 0 {
+		t.Fatalf("diagnostics: %v", diags)
+	}
+	if _, ok := res.Value("t", map[string]string{"v": "a\\b\"c\nd"}); !ok {
+		t.Fatal("escaped value did not round-trip")
+	}
+}
+
+func TestFamilyOfSuffixes(t *testing.T) {
+	for in, want := range map[string]string{
+		"x_bucket": "x", "x_sum": "x", "x_count": "x", "x_total": "x_total",
+	} {
+		if got := familyOf(in); got != want {
+			t.Errorf("familyOf(%s) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package series
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tscds/internal/obs"
+	"tscds/internal/tsc"
+)
+
+// tsc.Health must keep satisfying obs.PromVar structurally (tsc cannot
+// import obs, so the contract is only checkable from here).
+var _ obs.PromVar = (*tsc.Health)(nil)
+
+func TestSampleRatesAndRetention(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetSourceKind("Logical")
+	c := New(Config{
+		Retention: 3,
+		Label:     func() string { return "arm-a" },
+		Metrics:   func() *obs.Registry { return reg },
+	})
+
+	reg.ObserveOp(obs.OpUpdate, time.Microsecond)
+	c.Sample()
+	pts := c.Points()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	if pts[0].Rates != nil {
+		t.Fatal("first point has rates (no previous interval)")
+	}
+	if pts[0].Label != "arm-a" {
+		t.Fatalf("label = %q", pts[0].Label)
+	}
+	if pts[0].Metrics.Ops["update"].Count != 1 {
+		t.Fatalf("metrics not snapshotted: %+v", pts[0].Metrics.Ops)
+	}
+
+	for i := 0; i < 10; i++ {
+		reg.ObserveOp(obs.OpUpdate, time.Microsecond)
+	}
+	time.Sleep(5 * time.Millisecond) // a measurable interval for the rate
+	c.Sample()
+	pts = c.Points()
+	last := pts[len(pts)-1]
+	if last.Rates == nil {
+		t.Fatal("second same-registry point has no rates")
+	}
+	if last.Rates.TotalOpsPerSec <= 0 || last.Rates.OpsPerSec["update"] <= 0 {
+		t.Fatalf("rates = %+v", last.Rates)
+	}
+
+	// Retention: the ring holds the newest 3 points.
+	for i := 0; i < 5; i++ {
+		c.Sample()
+	}
+	if got := len(c.Points()); got != 3 {
+		t.Fatalf("retained %d points, want 3", got)
+	}
+}
+
+// Swapping the observed registry must suppress the torn rate window
+// (deltas across different registries are meaningless) and reset the
+// watchdog baseline instead of firing bogus events.
+func TestRegistrySwapSuppressesRates(t *testing.T) {
+	regA := obs.NewRegistry()
+	regB := obs.NewRegistry()
+	var cur atomic.Pointer[obs.Registry]
+	cur.Store(regA)
+	wd := obs.NewWatchdog(obs.DefaultRules(), nil)
+	c := New(Config{
+		Metrics:  func() *obs.Registry { return cur.Load() },
+		Watchdog: wd,
+	})
+
+	for i := 0; i < 100; i++ {
+		regA.ObserveOp(obs.OpUpdate, time.Microsecond)
+	}
+	regA.Source.SnapshotRetries.Add(500)
+	c.Sample()
+	c.Sample()
+
+	// Swap to a fresh registry whose counters are all below regA's.
+	cur.Store(regB)
+	regB.ObserveOp(obs.OpRange, time.Microsecond)
+	c.Sample()
+	pts := c.Points()
+	last := pts[len(pts)-1]
+	if last.Rates != nil {
+		t.Fatalf("rates across a registry swap: %+v", last.Rates)
+	}
+	if evs := wd.Events(); len(evs) != 0 {
+		t.Fatalf("watchdog fired across the swap: %+v", evs)
+	}
+
+	// The next same-registry sample resumes rate computation.
+	regB.Source.SnapshotRetries.Add(5)
+	time.Sleep(2 * time.Millisecond) // rates need a non-zero wall interval
+	c.Sample()
+	pts = c.Points()
+	if pts[len(pts)-1].Rates == nil {
+		t.Fatal("rates not resumed after the swap settled")
+	}
+	// ... and the retry delta now fires the watchdog on real movement.
+	if evs := wd.Events(); len(evs) != 1 || evs[0].Rule != "snapshot-retry-spike" {
+		t.Fatalf("post-swap events = %+v", evs)
+	}
+}
+
+// An injected TSC backstep must surface as a tsc-backstep watchdog
+// event within one collector sample — the acceptance criterion for the
+// /events pipeline.
+func TestInjectedBackstepFiresWithinOneSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	health := tsc.NewHealth(8)
+	wd := obs.NewWatchdog(obs.DefaultRules(), nil)
+	c := New(Config{
+		Metrics:  func() *obs.Registry { return reg },
+		Health:   func() *tsc.Health { return health },
+		Watchdog: wd,
+	})
+	c.Sample() // baseline
+	health.InjectBackstep(uint64(time.Hour))
+	c.Sample()
+	var found bool
+	for _, ev := range wd.Events() {
+		if ev.Rule == "tsc-backstep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tsc-backstep not raised within one sample; events = %+v", wd.Events())
+	}
+	// The health snapshot rides along on the point.
+	pts := c.Points()
+	if h := pts[len(pts)-1].Health; h == nil || h.InjectedFaults != 1 {
+		t.Fatalf("point health = %+v", h)
+	}
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{
+		Interval: 2 * time.Millisecond,
+		Metrics:  func() *obs.Registry { return reg },
+	})
+	c.Start()
+	c.Start() // second Start is a no-op, not a second goroutine
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Points()) < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	n := len(c.Points())
+	if n < 3 {
+		t.Fatalf("collector took too long: %d points", n)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := len(c.Points()); got != n {
+		t.Fatalf("points kept arriving after Stop: %d -> %d", n, got)
+	}
+	c.Stop() // idempotent
+}
+
+func TestServeHTTPAndString(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Metrics: func() *obs.Registry { return reg }})
+	c.Sample()
+	c.Sample()
+	c.Sample()
+
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/series?last=2", nil))
+	var p struct {
+		IntervalMS int64   `json:"interval_ms"`
+		Retention  int     `json:"retention"`
+		Points     []Point `json:"points"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("/series JSON: %v", err)
+	}
+	if len(p.Points) != 2 || p.Retention != DefaultRetention || p.IntervalMS != 1000 {
+		t.Fatalf("page = {interval %d, retention %d, %d points}", p.IntervalMS, p.Retention, len(p.Points))
+	}
+	if !strings.Contains(c.String(), `"points"`) {
+		t.Fatalf("String() = %q", c.String())
+	}
+
+	// Nil sources and nil collector never panic.
+	New(Config{}).Sample()
+	var nilC *Collector
+	nilC.Sample()
+	nilC.Start()
+	nilC.Stop()
+	if nilC.String() != "{}" || nilC.Points() != nil {
+		t.Fatal("nil collector state not empty")
+	}
+	rec = httptest.NewRecorder()
+	nilC.ServeHTTP(rec, httptest.NewRequest("GET", "/series", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil ServeHTTP status %d", rec.Code)
+	}
+}

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -22,6 +25,48 @@ type Func func() string
 
 // String invokes the function.
 func (f Func) String() string { return f() }
+
+// Live adapts a getter to a Var that re-resolves on every use, for
+// registrations whose backing value is swapped at runtime (a benchmark
+// re-pointing its registry per arm). The returned Var forwards the
+// PromVar and http.Handler capabilities of whatever the getter
+// currently returns, so capability dispatch in Serve stays live too.
+// The getter may return nil (or a nil typed pointer — every obs/trace/
+// tsc method is nil-safe); the adapter then renders "null" / nothing.
+func Live(get func() Var) Var { return liveVar{get} }
+
+type liveVar struct{ get func() Var }
+
+func (l liveVar) String() string {
+	if v := l.get(); v != nil {
+		return v.String()
+	}
+	return "null"
+}
+
+// WriteProm forwards to the current value when it speaks the text
+// exposition format; otherwise writes nothing.
+func (l liveVar) WriteProm(w io.Writer) {
+	if pv, ok := l.get().(PromVar); ok {
+		pv.WriteProm(w)
+	}
+}
+
+// ServeHTTP delegates to the current value's handler when it has one,
+// else falls back to the JSON rendering.
+func (l liveVar) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	v := l.get()
+	if h, ok := v.(http.Handler); ok {
+		h.ServeHTTP(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if v == nil {
+		fmt.Fprintln(w, "null")
+		return
+	}
+	fmt.Fprintln(w, v.String())
+}
 
 // Server is a live stats endpoint started by Serve.
 type Server struct {
@@ -51,15 +96,127 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// bufferedResponse captures a handler's full output before any byte
+// reaches the wire, so a panic mid-render can be converted into a clean
+// HTTP 500 instead of a truncated body with a 200 status already sent.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// flush copies the buffered response onto the real writer.
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
+}
+
+// protect wraps a handler with buffering + recover: a Var whose
+// String()/WriteProm panics yields a 500 with the panic message rather
+// than half an object. The buffer also means slow clients never observe
+// a partially-rendered scrape.
+func protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		buf := newBufferedResponse()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					buf = newBufferedResponse()
+					buf.header.Set("Content-Type", "text/plain; charset=utf-8")
+					buf.status = http.StatusInternalServerError
+					fmt.Fprintf(buf, "internal error: %v\n", r)
+				}
+			}()
+			h(buf, req)
+		}()
+		buf.flush(w)
+	}
+}
+
+// acceptsProm reports whether an Accept header asks for the Prometheus
+// text exposition rather than JSON. Prometheus scrapers send an Accept
+// that names text/plain (or the OpenMetrics type, which the 0.0.4 text
+// format satisfies for the families we export); browsers and the JSON
+// collectors send */* or application/json and keep the JSON aggregate.
+func acceptsProm(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writePromAll renders every registered var that speaks the text
+// exposition format, in sorted registration order.
+func writePromAll(w http.ResponseWriter, names []string, vars map[string]Var) {
+	w.Header().Set("Content-Type", promContentType)
+	for _, name := range names {
+		if pv, ok := vars[name].(PromVar); ok {
+			pv.WriteProm(w)
+		}
+	}
+}
+
+// writeJSONAll renders every registered var into one expvar-compatible
+// JSON object.
+func writeJSONAll(w http.ResponseWriter, names []string, vars map[string]Var) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", name, vars[name].String())
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
 // Serve starts an opt-in HTTP stats endpoint on addr and returns
 // immediately. Routes:
 //
-//	/metrics    every registered var in one expvar-compatible JSON object
-//	/<name>     one var's JSON by its registration name
+//	/metrics       every registered var in one expvar-compatible JSON
+//	               object; a Prometheus Accept header (text/plain or
+//	               application/openmetrics-text) switches to the text
+//	               exposition
+//	/metrics.prom  Prometheus text exposition 0.0.4 of every var that
+//	               implements PromVar
+//	/<name>        one var by its registration name — JSON, unless the
+//	               var implements http.Handler (the flight recorder's
+//	               ?format=chrome, the series collector's ?last=N, the
+//	               watchdog's /events), which then handles the request
+//	               itself
+//
+// Unknown paths get a 404 listing the registered routes. Every handler
+// renders into a buffer first: a panicking Var yields a clean HTTP 500
+// instead of a truncated 200 body.
 //
 // Conventional names used by the benchmark drivers: "metrics" (the
 // *Registry), "trace" (the flight recorder), "tschealth" (the TSC health
-// monitor), so /trace and /tschealth work as documented in the README.
+// monitor), "series" (the time-series collector), "events" (the
+// watchdog), so /trace, /tschealth, /series and /events work as
+// documented in the README.
 func Serve(addr string, vars map[string]Var) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -71,30 +228,50 @@ func Serve(addr string, vars map[string]Var) (*Server, error) {
 	}
 	sort.Strings(names)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintf(w, "{\n")
-		for i, name := range names {
-			if i > 0 {
-				fmt.Fprintf(w, ",\n")
-			}
-			fmt.Fprintf(w, "%q: %s", name, vars[name].String())
+	routes := []string{"/metrics", "/metrics.prom"}
+	for _, name := range names {
+		if name != "metrics" {
+			routes = append(routes, "/"+name)
 		}
-		fmt.Fprintf(w, "\n}\n")
-	})
+	}
+	sort.Strings(routes)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", protect(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsProm(req.Header.Get("Accept")) {
+			writePromAll(w, names, vars)
+			return
+		}
+		writeJSONAll(w, names, vars)
+	}))
+	mux.HandleFunc("/metrics.prom", protect(func(w http.ResponseWriter, _ *http.Request) {
+		writePromAll(w, names, vars)
+	}))
 	for name, v := range vars {
 		if name == "metrics" {
 			// The aggregate route already serves this name; a registry
-			// registered as "metrics" appears there.
+			// registered as "metrics" appears there (and in the text
+			// exposition).
 			continue
 		}
 		v := v
-		mux.HandleFunc("/"+name, func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/"+name, protect(func(w http.ResponseWriter, req *http.Request) {
+			if h, ok := v.(http.Handler); ok {
+				h.ServeHTTP(w, req)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			fmt.Fprintln(w, v.String())
-		})
+		}))
 	}
+	mux.HandleFunc("/", protect(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintf(w, "404 no route %q; registered routes:\n", req.URL.Path)
+		for _, r := range routes {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+	}))
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)

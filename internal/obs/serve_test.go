@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -158,5 +159,177 @@ func TestSnapshotSummary(t *testing.T) {
 	}
 	if empty := (Snapshot{}).Summary(); !strings.Contains(empty, "no activity") {
 		t.Fatalf("empty summary = %q", empty)
+	}
+}
+
+// getFull returns body, status and content type without failing on
+// non-200 statuses.
+func getFull(t *testing.T, url string, hdr map[string]string) ([]byte, int, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, resp.StatusCode, resp.Header.Get("Content-Type")
+}
+
+// A Var whose String() panics must yield a clean 500, not a truncated
+// 200 body — and must not take the server down for later requests.
+func TestServePanickingVar(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", map[string]Var{
+		"metrics": reg,
+		"broken":  Func(func() string { panic("render exploded") }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body, status, _ := getFull(t, "http://"+srv.Addr()+"/broken", nil)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking var status = %d, want 500", status)
+	}
+	if !strings.Contains(string(body), "render exploded") {
+		t.Fatalf("500 body = %q", body)
+	}
+
+	// The aggregate route renders the panicking var too: same contract.
+	_, status, _ = getFull(t, "http://"+srv.Addr()+"/metrics", nil)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("/metrics with panicking var status = %d, want 500", status)
+	}
+
+	// The server survives; a healthy route still works.
+	got := get(t, "http://"+srv.Addr()+"/metrics.prom")
+	if !strings.Contains(string(got), "tscds_ops_total") {
+		t.Fatalf("/metrics.prom after panic = %q", got)
+	}
+}
+
+func TestServe404ListsRoutes(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", map[string]Var{
+		"metrics":   NewRegistry(),
+		"tschealth": Func(func() string { return "{}" }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, status, _ := getFull(t, "http://"+srv.Addr()+"/nope", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", status)
+	}
+	for _, want := range []string{"/metrics", "/metrics.prom", "/tschealth"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("404 listing missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// /metrics negotiates on the Accept header: Prometheus scrapers get the
+// text exposition, everyone else the JSON aggregate.
+func TestServeAcceptNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.ObserveOp(OpUpdate, time.Microsecond)
+	srv, err := Serve("127.0.0.1:0", map[string]Var{"metrics": reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, status, ct := getFull(t, base+"/metrics", map[string]string{"Accept": "text/plain"})
+	if status != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("negotiated: status %d, Content-Type %q", status, ct)
+	}
+	if !strings.Contains(string(body), "# TYPE tscds_ops_total counter") {
+		t.Fatalf("negotiated body not an exposition:\n%s", body)
+	}
+
+	body, _, ct = getFull(t, base+"/metrics", map[string]string{"Accept": "application/json"})
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("JSON Accept got Content-Type %q", ct)
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("JSON aggregate: %v", err)
+	}
+
+	// No Accept header keeps the pre-existing JSON behavior.
+	body, _, _ = getFull(t, base+"/metrics", nil)
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+
+	// /metrics.prom always serves the exposition with the version tag.
+	_, _, ct = getFull(t, base+"/metrics.prom", nil)
+	if ct != promContentType {
+		t.Fatalf("/metrics.prom Content-Type = %q", ct)
+	}
+}
+
+// Live re-resolves its getter per use and forwards capabilities; a nil
+// current value renders as null without panicking.
+func TestLiveVar(t *testing.T) {
+	var curP atomic.Pointer[Var] // written here, read by server handlers
+	cur := func(v Var) {
+		if v == nil {
+			curP.Store(nil)
+			return
+		}
+		curP.Store(&v)
+	}
+	live := Live(func() Var {
+		if p := curP.Load(); p != nil {
+			return *p
+		}
+		return nil
+	})
+	if got := live.String(); got != "null" {
+		t.Fatalf("nil live String = %q", got)
+	}
+	var sb strings.Builder
+	live.(PromVar).WriteProm(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil live WriteProm wrote %q", sb.String())
+	}
+
+	reg := NewRegistry()
+	reg.ObserveOp(OpUpdate, time.Microsecond)
+	cur(reg)
+	if !strings.Contains(live.String(), `"update"`) {
+		t.Fatal("live String did not track the swapped-in registry")
+	}
+	sb.Reset()
+	live.(PromVar).WriteProm(&sb)
+	if !strings.Contains(sb.String(), "tscds_ops_total") {
+		t.Fatal("live WriteProm did not forward to the registry")
+	}
+
+	// Through Serve: the exposition follows the getter across swaps.
+	srv, err := Serve("127.0.0.1:0", map[string]Var{"metrics": live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg2 := NewRegistry()
+	reg2.SetStructure("swapped/arm")
+	reg2.ObserveOp(OpRange, time.Microsecond)
+	cur(reg2)
+	if got := string(get(t, "http://"+srv.Addr()+"/metrics.prom")); !strings.Contains(got, `structure="swapped/arm"`) {
+		t.Fatalf("exposition did not follow the live swap:\n%s", got)
 	}
 }

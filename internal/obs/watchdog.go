@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HealthFacts is the timestamp-source health summary a Watchdog rule
+// can see. It mirrors the fields of tsc.HealthSnapshot the default
+// rules consume, restated here so this package stays dependency-free;
+// the series collector fills it from the live monitor.
+type HealthFacts struct {
+	// State is one of the tsc health states ("healthy", "degraded",
+	// "fallback").
+	State string `json:"state,omitempty"`
+	// Degraded is the live fast-path fault flag.
+	Degraded bool `json:"degraded,omitempty"`
+	// CrossRegressions and InjectedFaults count observed and injected
+	// TSC backsteps; SourceStalls counts frozen-source reports.
+	CrossRegressions uint64 `json:"cross_regressions,omitempty"`
+	InjectedFaults   uint64 `json:"injected_faults,omitempty"`
+	SourceStalls     uint64 `json:"source_stalls,omitempty"`
+	// SourceSwitches and SourceFailbacks count adaptive-source
+	// generation switches in each direction.
+	SourceSwitches  uint64 `json:"source_switches,omitempty"`
+	SourceFailbacks uint64 `json:"source_failbacks,omitempty"`
+}
+
+// Observation is one periodic sighting of the system a Watchdog
+// evaluates rules over: a metrics snapshot plus, when a TSC health
+// monitor is wired, its health facts.
+type Observation struct {
+	At        time.Time
+	Metrics   Snapshot
+	Health    HealthFacts
+	HasHealth bool
+}
+
+// Event is one fired watchdog rule, JSON-ready for the /events
+// endpoint and the optional callback.
+type Event struct {
+	At       time.Time `json:"at"`
+	AtUnixMS int64     `json:"at_unix_ms"`
+	Rule     string    `json:"rule"`
+	Severity string    `json:"severity"`
+	Message  string    `json:"message"`
+	// Value is the measurement that tripped the rule (a delta, a level,
+	// or a rate — the rule's message says which).
+	Value float64 `json:"value"`
+}
+
+// Severity levels used by the default rules.
+const (
+	SeverityWarn     = "warn"
+	SeverityCritical = "critical"
+)
+
+// Rule is one declarative watchdog condition evaluated over successive
+// observations. Check inspects the previous and current observation and
+// reports a message and measured value when the rule fires.
+type Rule struct {
+	Name     string
+	Severity string
+	Check    func(prev, cur Observation) (msg string, value float64, fired bool)
+}
+
+// maxWatchdogEvents bounds the retained event ring; older events are
+// dropped (and counted) once it fills.
+const maxWatchdogEvents = 256
+
+// Watchdog evaluates rules over successive observations and retains
+// the fired events on a bounded ring. Feed it from a series.Collector
+// (one Observe per collector tick) or directly from tests. Safe for
+// concurrent use.
+type Watchdog struct {
+	mu      sync.Mutex
+	rules   []Rule
+	prev    Observation
+	hasPrev bool
+	events  []Event
+	total   uint64
+	cb      func(Event)
+}
+
+// NewWatchdog builds a watchdog over the given rules. cb, when non-nil,
+// is invoked synchronously (outside the watchdog's lock) for every
+// fired event.
+func NewWatchdog(rules []Rule, cb func(Event)) *Watchdog {
+	return &Watchdog{rules: rules, cb: cb}
+}
+
+// Observe evaluates every rule against (previous, o) and records the
+// fired events. The first observation after construction or Reset only
+// establishes the baseline. Returns the events fired by this call.
+// Nil-safe.
+func (w *Watchdog) Observe(o Observation) []Event {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	if !w.hasPrev {
+		w.prev, w.hasPrev = o, true
+		w.mu.Unlock()
+		return nil
+	}
+	var fired []Event
+	for _, r := range w.rules {
+		msg, v, ok := r.Check(w.prev, o)
+		if !ok {
+			continue
+		}
+		ev := Event{
+			At: o.At, AtUnixMS: o.At.UnixMilli(),
+			Rule: r.Name, Severity: r.Severity, Message: msg, Value: v,
+		}
+		w.total++
+		if len(w.events) >= maxWatchdogEvents {
+			w.events = append(w.events[:0], w.events[1:]...)
+		}
+		w.events = append(w.events, ev)
+		fired = append(fired, ev)
+	}
+	w.prev = o
+	cb := w.cb
+	w.mu.Unlock()
+	if cb != nil {
+		for _, ev := range fired {
+			cb(ev)
+		}
+	}
+	return fired
+}
+
+// Reset clears the baseline observation (but keeps recorded events).
+// Call when the observed registry or health monitor is swapped out —
+// deltas across the swap would be garbage. Nil-safe.
+func (w *Watchdog) Reset() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.hasPrev = false
+	w.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first. Nil-safe.
+func (w *Watchdog) Events() []Event {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Event(nil), w.events...)
+}
+
+// Total returns the count of events ever fired (including any dropped
+// from the ring). Nil-safe.
+func (w *Watchdog) Total() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// eventsPage is the /events JSON shape.
+type eventsPage struct {
+	Total   uint64  `json:"total"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+func (w *Watchdog) page(last int) eventsPage {
+	evs := w.Events()
+	if last > 0 && last < len(evs) {
+		evs = evs[len(evs)-last:]
+	}
+	if evs == nil {
+		evs = []Event{}
+	}
+	total := w.Total()
+	return eventsPage{Total: total, Dropped: total - uint64(len(w.Events())), Events: evs}
+}
+
+// String renders the retained events as JSON (expvar-style Var), so a
+// watchdog registered as "events" serves the /events endpoint.
+func (w *Watchdog) String() string {
+	if w == nil {
+		return "{}"
+	}
+	b, err := json.Marshal(w.page(0))
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// ServeHTTP serves the event log; ?last=N trims to the newest N events.
+func (w *Watchdog) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	last := 0
+	if w != nil {
+		if n, err := strconv.Atoi(req.URL.Query().Get("last")); err == nil && n > 0 {
+			last = n
+		}
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if w == nil {
+		fmt.Fprintln(rw, "{}")
+		return
+	}
+	b, err := json.Marshal(w.page(last))
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Write(b)
+	rw.Write([]byte("\n"))
+}
+
+// Default rule thresholds.
+const (
+	// limboGrowthFactor and limboGrowthFloor gate the limbo-growth rule:
+	// the population must both exceed the floor and have grown by the
+	// factor within one interval.
+	limboGrowthFactor = 2.0
+	limboGrowthFloor  = 4096
+	// poolHitFloor and poolMinTraffic gate the pool-hit-rate rule: at
+	// least poolMinTraffic allocations in the interval with a hit rate
+	// under the floor.
+	poolHitFloor   = 0.5
+	poolMinTraffic = 1024
+)
+
+// d64 is a monotonic-counter delta that tolerates torn or swapped
+// readings by clamping to zero.
+func d64(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
+// DefaultRules returns the standard rule set:
+//
+//	tsc-backstep        critical  a TSC backstep (real or injected) was observed
+//	source-stall        critical  a strict advance exhausted its spin budget
+//	source-degraded     critical  the health state left "healthy"
+//	source-switch       warn      an adaptive source switched generations
+//	snapshot-retry-spike warn     range queries discarded snapshots after a switch
+//	limbo-growth        warn      the limbo population more than doubled past a floor
+//	wal-error           critical  the WAL error became sticky (durability broken)
+//	pool-hit-collapse   warn      the pool served under half its interval traffic
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "tsc-backstep", Severity: SeverityCritical,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				if !prev.HasHealth || !cur.HasHealth {
+					return "", 0, false
+				}
+				d := d64(cur.Health.CrossRegressions, prev.Health.CrossRegressions) +
+					d64(cur.Health.InjectedFaults, prev.Health.InjectedFaults)
+				if d == 0 {
+					return "", 0, false
+				}
+				return fmt.Sprintf("%d TSC backstep(s) observed this interval; cross-core snapshot ordering is suspect", d), float64(d), true
+			},
+		},
+		{
+			Name: "source-stall", Severity: SeverityCritical,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				d := d64(cur.Health.SourceStalls, prev.Health.SourceStalls) +
+					d64(cur.Metrics.Source.Stalls, prev.Metrics.Source.Stalls)
+				if d == 0 {
+					return "", 0, false
+				}
+				return fmt.Sprintf("%d stalled-source report(s): strict advance gave up on a frozen counter", d), float64(d), true
+			},
+		},
+		{
+			Name: "source-degraded", Severity: SeverityCritical,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				if !prev.HasHealth || !cur.HasHealth {
+					return "", 0, false
+				}
+				if cur.Health.State == prev.Health.State || cur.Health.State == "healthy" {
+					return "", 0, false
+				}
+				return fmt.Sprintf("TSC health state changed %s -> %s", prev.Health.State, cur.Health.State), 1, true
+			},
+		},
+		{
+			Name: "source-switch", Severity: SeverityWarn,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				d := d64(cur.Health.SourceSwitches, prev.Health.SourceSwitches) +
+					d64(cur.Health.SourceFailbacks, prev.Health.SourceFailbacks)
+				if d == 0 {
+					return "", 0, false
+				}
+				return fmt.Sprintf("%d adaptive-source generation switch(es) this interval", d), float64(d), true
+			},
+		},
+		{
+			Name: "snapshot-retry-spike", Severity: SeverityWarn,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				d := d64(cur.Metrics.Source.SnapshotRetries, prev.Metrics.Source.SnapshotRetries)
+				if d == 0 {
+					return "", 0, false
+				}
+				return fmt.Sprintf("%d range-query snapshot(s) discarded and re-run this interval", d), float64(d), true
+			},
+		},
+		{
+			Name: "limbo-growth", Severity: SeverityWarn,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				curLen, prevLen := cur.Metrics.GC.LimboLen, prev.Metrics.GC.LimboLen
+				if curLen < limboGrowthFloor || prevLen <= 0 {
+					return "", 0, false
+				}
+				if float64(curLen) < limboGrowthFactor*float64(prevLen) {
+					return "", 0, false
+				}
+				return fmt.Sprintf("limbo population grew %d -> %d in one interval (reclamation falling behind)", prevLen, curLen), float64(curLen), true
+			},
+		},
+		{
+			Name: "wal-error", Severity: SeverityCritical,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				if cur.Metrics.WAL == nil {
+					return "", 0, false
+				}
+				var prevErrs uint64
+				if prev.Metrics.WAL != nil {
+					prevErrs = prev.Metrics.WAL.Errors
+				}
+				d := d64(cur.Metrics.WAL.Errors, prevErrs)
+				if d == 0 {
+					return "", 0, false
+				}
+				return fmt.Sprintf("%d sticky WAL error(s): durability broken, map serving from memory", d), float64(d), true
+			},
+		},
+		{
+			Name: "pool-hit-collapse", Severity: SeverityWarn,
+			Check: func(prev, cur Observation) (string, float64, bool) {
+				if cur.Metrics.Pool == nil || prev.Metrics.Pool == nil {
+					return "", 0, false
+				}
+				hits := d64(cur.Metrics.Pool.Hits, prev.Metrics.Pool.Hits)
+				misses := d64(cur.Metrics.Pool.Misses, prev.Metrics.Pool.Misses)
+				total := hits + misses
+				if total < poolMinTraffic {
+					return "", 0, false
+				}
+				rate := float64(hits) / float64(total)
+				if rate >= poolHitFloor {
+					return "", 0, false
+				}
+				return fmt.Sprintf("pool hit rate collapsed to %.1f%% over %d allocation(s)", 100*rate, total), rate, true
+			},
+		},
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func obsAt(sec int) Observation {
+	return Observation{At: time.Unix(int64(sec), 0)}
+}
+
+func TestWatchdogBaselineAndDelta(t *testing.T) {
+	var fired []Event
+	w := NewWatchdog(DefaultRules(), func(e Event) { fired = append(fired, e) })
+
+	o1 := obsAt(1)
+	o1.HasHealth = true
+	if evs := w.Observe(o1); len(evs) != 0 {
+		t.Fatalf("baseline observation fired %d events", len(evs))
+	}
+
+	// An injected backstep between observations fires tsc-backstep once.
+	o2 := obsAt(2)
+	o2.HasHealth = true
+	o2.Health.InjectedFaults = 3
+	evs := w.Observe(o2)
+	if len(evs) != 1 || evs[0].Rule != "tsc-backstep" {
+		t.Fatalf("events = %+v, want one tsc-backstep", evs)
+	}
+	if evs[0].Severity != SeverityCritical || evs[0].Value != 3 {
+		t.Fatalf("event = %+v", evs[0])
+	}
+	if len(fired) != 1 {
+		t.Fatalf("callback saw %d events, want 1", len(fired))
+	}
+
+	// No further delta → no further events.
+	o3 := obsAt(3)
+	o3.HasHealth = true
+	o3.Health.InjectedFaults = 3
+	if evs := w.Observe(o3); len(evs) != 0 {
+		t.Fatalf("steady state fired %+v", evs)
+	}
+	if w.Total() != 1 {
+		t.Fatalf("total = %d, want 1", w.Total())
+	}
+}
+
+func TestWatchdogRules(t *testing.T) {
+	cases := []struct {
+		rule string
+		prev func(*Observation)
+		cur  func(*Observation)
+	}{
+		{"source-degraded",
+			func(o *Observation) { o.HasHealth = true; o.Health.State = "healthy" },
+			func(o *Observation) { o.HasHealth = true; o.Health.State = "fallback" }},
+		{"source-switch",
+			func(o *Observation) { o.HasHealth = true },
+			func(o *Observation) { o.HasHealth = true; o.Health.SourceSwitches = 1 }},
+		{"source-stall",
+			func(o *Observation) {},
+			func(o *Observation) { o.Metrics.Source.Stalls = 2 }},
+		{"snapshot-retry-spike",
+			func(o *Observation) {},
+			func(o *Observation) { o.Metrics.Source.SnapshotRetries = 10 }},
+		{"limbo-growth",
+			func(o *Observation) { o.Metrics.GC.LimboLen = 4000 },
+			func(o *Observation) { o.Metrics.GC.LimboLen = 9000 }},
+		{"wal-error",
+			func(o *Observation) { o.Metrics.WAL = &WALSnapshot{} },
+			func(o *Observation) { o.Metrics.WAL = &WALSnapshot{Errors: 1} }},
+		{"pool-hit-collapse",
+			func(o *Observation) { o.Metrics.Pool = &PoolSnapshot{} },
+			func(o *Observation) { o.Metrics.Pool = &PoolSnapshot{Hits: 100, Misses: 2000} }},
+	}
+	for _, c := range cases {
+		t.Run(c.rule, func(t *testing.T) {
+			w := NewWatchdog(DefaultRules(), nil)
+			prev, cur := obsAt(1), obsAt(2)
+			c.prev(&prev)
+			c.cur(&cur)
+			w.Observe(prev)
+			evs := w.Observe(cur)
+			for _, ev := range evs {
+				if ev.Rule == c.rule {
+					return
+				}
+			}
+			t.Fatalf("rule %s did not fire; events %+v", c.rule, evs)
+		})
+	}
+}
+
+// Rules that need growth must not fire on flat or shrinking inputs, and
+// counter resets (cur < prev, e.g. after an arm swap missed by Reset)
+// must not underflow into huge deltas.
+func TestWatchdogNoFalsePositives(t *testing.T) {
+	w := NewWatchdog(DefaultRules(), nil)
+	prev := obsAt(1)
+	prev.HasHealth = true
+	prev.Health.InjectedFaults = 100
+	prev.Metrics.Source.SnapshotRetries = 50
+	prev.Metrics.GC.LimboLen = 100000
+	w.Observe(prev)
+
+	cur := obsAt(2)
+	cur.HasHealth = true
+	cur.Health.InjectedFaults = 3 // reset below prev: delta must clamp to 0
+	cur.Metrics.GC.LimboLen = 50000
+	if evs := w.Observe(cur); len(evs) != 0 {
+		t.Fatalf("counter reset fired %+v", evs)
+	}
+
+	// Small limbo populations never alarm, whatever the growth factor.
+	w2 := NewWatchdog(DefaultRules(), nil)
+	p2 := obsAt(1)
+	p2.Metrics.GC.LimboLen = 10
+	c2 := obsAt(2)
+	c2.Metrics.GC.LimboLen = 1000 // 100x growth but under the floor
+	w2.Observe(p2)
+	if evs := w2.Observe(c2); len(evs) != 0 {
+		t.Fatalf("small limbo fired %+v", evs)
+	}
+}
+
+func TestWatchdogResetClearsBaseline(t *testing.T) {
+	w := NewWatchdog(DefaultRules(), nil)
+	o := obsAt(1)
+	o.HasHealth = true
+	w.Observe(o)
+	w.Reset()
+	// First post-Reset observation re-baselines: a jump that would have
+	// fired against the old baseline is silent.
+	o2 := obsAt(2)
+	o2.HasHealth = true
+	o2.Health.InjectedFaults = 99
+	if evs := w.Observe(o2); len(evs) != 0 {
+		t.Fatalf("post-reset observation fired %+v", evs)
+	}
+}
+
+func TestWatchdogRingCapAndServeHTTP(t *testing.T) {
+	w := NewWatchdog(DefaultRules(), nil)
+	o := obsAt(0)
+	o.HasHealth = true
+	w.Observe(o)
+	for i := 1; i <= maxWatchdogEvents+10; i++ {
+		o := obsAt(i)
+		o.HasHealth = true
+		o.Health.InjectedFaults = uint64(i)
+		w.Observe(o)
+	}
+	if got := len(w.Events()); got != maxWatchdogEvents {
+		t.Fatalf("ring holds %d, want %d", got, maxWatchdogEvents)
+	}
+	if w.Total() != maxWatchdogEvents+10 {
+		t.Fatalf("total = %d, want %d", w.Total(), maxWatchdogEvents+10)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/events?last=5", nil)
+	w.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var page struct {
+		Total   uint64  `json:"total"`
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(page.Events) != 5 || page.Total != maxWatchdogEvents+10 || page.Dropped != 10 {
+		t.Fatalf("page = {total %d, dropped %d, %d events}", page.Total, page.Dropped, len(page.Events))
+	}
+
+	// String() must be valid JSON (it backs the /events Var rendering).
+	var any map[string]any
+	if err := json.Unmarshal([]byte(w.String()), &any); err != nil {
+		t.Fatalf("String() not JSON: %v", err)
+	}
+}
+
+func TestWatchdogNil(t *testing.T) {
+	var w *Watchdog
+	if evs := w.Observe(obsAt(1)); evs != nil {
+		t.Fatal("nil watchdog fired")
+	}
+	w.Reset()
+	if w.Events() != nil || w.Total() != 0 || w.String() != "{}" {
+		t.Fatal("nil watchdog state not empty")
+	}
+	rec := httptest.NewRecorder()
+	w.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil ServeHTTP status %d", rec.Code)
+	}
+}
+
+// The callback must run outside the watchdog lock: calling back into
+// the watchdog from the callback must not deadlock.
+func TestWatchdogCallbackReentrant(t *testing.T) {
+	var w *Watchdog
+	done := make(chan struct{})
+	w = NewWatchdog(DefaultRules(), func(e Event) {
+		_ = w.Events()
+		_ = w.String()
+		close(done)
+	})
+	o := obsAt(1)
+	o.HasHealth = true
+	w.Observe(o)
+	o2 := obsAt(2)
+	o2.HasHealth = true
+	o2.Health.InjectedFaults = 1
+	go w.Observe(o2)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback deadlocked against watchdog lock")
+	}
+}

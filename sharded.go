@@ -97,6 +97,7 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
 		cfg.Metrics.SetSourceActual(core.Actual(src).String())
+		cfg.Metrics.SetStructure(s.String() + "/" + t.String())
 		cfg.Metrics.EnsureShards(shards)
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}

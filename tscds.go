@@ -352,6 +352,7 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetSourceKind(cfg.Source.String())
 		cfg.Metrics.SetSourceActual(core.Actual(src).String())
+		cfg.Metrics.SetStructure(s.String() + "/" + t.String())
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
 	m, shift, err := buildInner(s, t, cfg.Source, src, reg)
