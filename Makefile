@@ -20,6 +20,7 @@ check:
 	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/epoch/... ./internal/pool/... ./internal/dcss/... ./internal/linearize/... ./internal/tsc/... ./internal/wal/...
 	$(GO) test -race -short -run TestLinearizability .
 	$(GO) test -race -short -run 'TestCrashMatrix|TestCrashDuringRecovery|TestDurable|TestRecoverRefusesCorruptInterior|TestDrainRacesSnapshotFlush|TestCheckpointOnPlainMapErrors' .
+	$(GO) test -race -short -run 'TestTimeTravel|TestCheckpointAt' .
 
 # linearize runs the full-load linearizability matrix under the race
 # detector. Reproduce a failure with:

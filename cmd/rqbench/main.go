@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -753,8 +754,182 @@ func runDurabilityFigure(threads []int, wl bench.Workload, duration time.Duratio
 	fmt.Printf("durability: wrote %d records to BENCH_durability.json\n", len(records))
 }
 
+// mvccArmRecord is one BENCH_mvcc.json entry: a time-travel arm's
+// historical-read latency as a function of timestamp age, next to the
+// live-read baseline and the facade's historical-read telemetry. The
+// parallel slices line up index-for-index with AgeUpdates; a Truncated
+// entry marks an age whose timestamp fell below the retention
+// watermark, where the typed refusal (not a latency) is the result.
+type mvccArmRecord struct {
+	Label              string    `json:"label"`
+	Source             string    `json:"source"`
+	Retention          string    `json:"retention"` // "all" or the window in source ticks
+	AgeUpdates         []uint64  `json:"age_updates"`
+	GetAtNS            []float64 `json:"getat_ns"`
+	RangeAtNS          []float64 `json:"rangeat_ns"`
+	Truncated          []bool    `json:"truncated"`
+	LiveGetNS          float64   `json:"live_get_ns"`
+	LiveRangeNS        float64   `json:"live_range_ns"`
+	HistoricalReads    uint64    `json:"historical_reads"`
+	HistoryTruncations uint64    `json:"history_truncations"`
+}
+
+// runMvccFigure regenerates the MVCC time-travel arm: a vCAS BST under
+// the Logical and TSC sources, each in a retain-all and a bounded-
+// retention (-retention) configuration. The driver first grows a known
+// version history — one update per step, capturing Now() after each, so
+// a stamp's age in update-steps is exact — then measures single-thread
+// GetAt/RangeQueryAt latency at stamps of increasing age next to the
+// live Get/RangeQuery baseline. The expected shape: version-chain walks
+// lengthen with age (each probe must skip every newer version), and the
+// bounded-retention arms refuse the oldest ages with ErrTruncatedHistory
+// instead of paying the walk — the reads-vs-truncations split lands in
+// the record from the metrics registry. Results go to BENCH_mvcc.json.
+func runMvccFigure(wl bench.Workload, retention uint64) {
+	ages := []uint64{0, 16, 64, 256, 1024, 4096}
+	maxAge := ages[len(ages)-1]
+	const (
+		getProbes   = 2000
+		rangeProbes = 200
+	)
+	retainAll := ^uint64(0)
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var records []mvccArmRecord
+	for _, src := range []tscds.SourceKind{tscds.Logical, tscds.TSC} {
+		for _, ret := range []uint64{retainAll, retention} {
+			name := "vCAS"
+			if src == tscds.TSC {
+				name += "-RDTSCP"
+			}
+			retLabel := "all"
+			if ret != retainAll {
+				retLabel = strconv.FormatUint(ret, 10)
+				name += "-retain" + retLabel
+			}
+			// Metrics are always on for this figure: the historical-read
+			// counters are part of what it reports.
+			cfg := tscds.Config{Source: src, MaxThreads: 512, Retention: ret, Metrics: tscds.NewMetrics()}
+			if traceOn {
+				cfg.Trace = &tscds.TraceConfig{}
+			}
+			m, err := tscds.New(tscds.BST, tscds.VCAS, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			warnSubstituted(m, src)
+			curMetrics.Store(cfg.Metrics)
+			curTracer.Store(m.Tracer())
+			setArmLabel(name)
+			if err := bench.Prefill(m, m, wl.KeyRange); err != nil {
+				fatal(err)
+			}
+			th, err := m.RegisterThread()
+			if err != nil {
+				fatal(err)
+			}
+			// Grow history: one update per step (delete on even passes over
+			// the key range, insert on odd, so every step changes state),
+			// stamping the source after each. stamps[len-1-A] is then a
+			// timestamp exactly A update-steps old.
+			stamps := make([]uint64, 0, maxAge+1)
+			stamps = append(stamps, m.Now())
+			for i := uint64(0); i < maxAge; i++ {
+				k := i % wl.KeyRange
+				if (i/wl.KeyRange)%2 == 0 {
+					m.Delete(th, k)
+				} else {
+					m.Insert(th, k, i)
+				}
+				stamps = append(stamps, m.Now())
+			}
+			rec := mvccArmRecord{Label: name, Source: src.String(), Retention: retLabel}
+			buf := make([]tscds.KV, 0, wl.RQLen+1)
+			for _, age := range ages {
+				ts := stamps[uint64(len(stamps)-1)-age]
+				truncated := false
+				var getNS, rangeNS float64
+				start := time.Now()
+				n := 0
+				for i := 0; i < getProbes && !truncated; i++ {
+					if _, _, err := m.GetAt(th, uint64(i)%wl.KeyRange, ts); err != nil {
+						if errors.Is(err, tscds.ErrTruncatedHistory) {
+							truncated = true
+							break
+						}
+						fatal(fmt.Errorf("mvcc arm %s: GetAt(age %d): %w", name, age, err))
+					}
+					n++
+				}
+				if n > 0 {
+					getNS = float64(time.Since(start).Nanoseconds()) / float64(n)
+				}
+				start = time.Now()
+				n = 0
+				for i := 0; i < rangeProbes && !truncated; i++ {
+					lo := (uint64(i) * 131) % wl.KeyRange
+					if _, err := m.RangeQueryAt(th, lo, lo+wl.RQLen, ts, buf[:0]); err != nil {
+						if errors.Is(err, tscds.ErrTruncatedHistory) {
+							truncated = true
+							break
+						}
+						fatal(fmt.Errorf("mvcc arm %s: RangeQueryAt(age %d): %w", name, age, err))
+					}
+					n++
+				}
+				if n > 0 {
+					rangeNS = float64(time.Since(start).Nanoseconds()) / float64(n)
+				}
+				rec.AgeUpdates = append(rec.AgeUpdates, age)
+				rec.GetAtNS = append(rec.GetAtNS, getNS)
+				rec.RangeAtNS = append(rec.RangeAtNS, rangeNS)
+				rec.Truncated = append(rec.Truncated, truncated)
+			}
+			// Live baseline over the same keys, same probe counts.
+			start := time.Now()
+			for i := 0; i < getProbes; i++ {
+				m.Get(th, uint64(i)%wl.KeyRange)
+			}
+			rec.LiveGetNS = float64(time.Since(start).Nanoseconds()) / float64(getProbes)
+			start = time.Now()
+			for i := 0; i < rangeProbes; i++ {
+				lo := (uint64(i) * 131) % wl.KeyRange
+				m.RangeQuery(th, lo, lo+wl.RQLen, buf[:0])
+			}
+			rec.LiveRangeNS = float64(time.Since(start).Nanoseconds()) / float64(rangeProbes)
+			if hs := cfg.Metrics.Snapshot().History; hs != nil {
+				rec.HistoricalReads = hs.Reads
+				rec.HistoryTruncations = hs.Truncations
+			}
+			for i, age := range rec.AgeUpdates {
+				if rec.Truncated[i] {
+					fmt.Printf("mvcc arm %s age=%d: truncated (below the retention watermark)\n", name, age)
+					continue
+				}
+				fmt.Printf("mvcc arm %s age=%d: GetAt %.0fns, RangeQueryAt %.0fns (live %.0f / %.0f)\n",
+					name, age, rec.GetAtNS[i], rec.RangeAtNS[i], rec.LiveGetNS, rec.LiveRangeNS)
+			}
+			fmt.Printf("mvcc arm %s: %d historical reads served, %d refused truncated\n",
+				name, rec.HistoricalReads, rec.HistoryTruncations)
+			records = append(records, rec)
+			dumpMetrics(name, cfg.Metrics)
+			dumpTrace(name, m)
+			th.Release()
+		}
+	}
+	b, err := json.MarshalIndent(records, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rqbench: writing BENCH_mvcc.json: %v\n", err)
+		os.Exit(1)
+	}
+	writeBenchFile("BENCH_mvcc.json", append(b, '\n'))
+	fmt.Printf("mvcc: wrote %d arm records to BENCH_mvcc.json\n", len(records))
+}
+
 func main() {
-	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive, alloc, durability")
+	fig := flag.String("fig", "2", "figure to regenerate: 2, 3, 4, 5, lazy, shard, adaptive, alloc, durability, mvcc")
 	mode := flag.String("mode", "native", "native or sim")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (native)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "per-trial duration (native)")
@@ -773,6 +948,7 @@ func main() {
 	shardsFlag := flag.Int("shards", 1, "native: partition each map across this many shards (figure 'shard' sweeps 1,2,4,8 itself)")
 	injectEvery := flag.Duration("inject-every", 100*time.Millisecond, "figure adaptive: TSC-backstep injection period (0 disables)")
 	syncSweep := flag.String("sync-every", "0,1,64", "figure durability: comma-separated SyncEvery arms (0 = WAL off)")
+	retention := flag.Uint64("retention", 2048, "figure mvcc: bounded-arm retention window in source ticks (the retain-all arms ignore it)")
 	flag.Parse()
 	metricsOn = *metrics
 	traceOn = *traceFlag
@@ -930,6 +1106,29 @@ func main() {
 		}
 		wl.ZipfS = *zipf
 		runDurabilityFigure(threads, wl, *duration, *trials, sweep)
+		if tscHealth != nil {
+			fmt.Printf("tschealth %s\n", tscHealth.String())
+		}
+		return
+	}
+
+	if *custom == "" && *fig == "mvcc" {
+		if *mode == "sim" {
+			fmt.Fprintln(os.Stderr, "figure mvcc runs natively only")
+			os.Exit(1)
+		}
+		// Only KeyRange and RQLen matter here: the figure runs its own
+		// deterministic history-growth phase and single-thread latency
+		// probes rather than a mixed throughput workload. The key range
+		// defaults smaller than the throughput figures' — history depth is
+		// measured in update-steps over the range, and the probes should
+		// hit keys whose version chains actually grew.
+		wl := bench.PaperWorkload(10, 10, 80)
+		wl.KeyRange = *keyRange
+		if *keyRange == 1_000_000 {
+			wl.KeyRange = 65536
+		}
+		runMvccFigure(wl, *retention)
 		if tscHealth != nil {
 			fmt.Printf("tschealth %s\n", tscHealth.String())
 		}

@@ -63,6 +63,16 @@ type DurableMap interface {
 	// write atomically, prune covered WAL segments) and returns the
 	// write outcome.
 	Checkpoint() error
+	// CheckpointAt flushes a snapshot of the map AS OF the past
+	// timestamp ts, collected through the same retained version history
+	// GetAt/RangeQueryAt read (so it needs a history-retaining
+	// technique — vCAS or Bundle — and ts inside the retention window;
+	// otherwise ErrHistoryUnsupported / ErrTruncatedHistory /
+	// ErrFutureTimestamp). The log is rotated but only segments the
+	// past bound covers are pruned, so recovery still converges to the
+	// present state: the artifact doubles as a point-in-time export and
+	// a valid recovery base.
+	CheckpointAt(ts uint64) error
 	// WALError reports the sticky durability error, if any: after a
 	// persistent I/O failure the Map keeps serving from memory but
 	// updates are no longer made durable (their acks carry the error).
@@ -330,6 +340,41 @@ func (d *durable) checkpoint() error {
 	return nil
 }
 
+// checkpointAt is checkpoint with the collection pointed at a past
+// timestamp: the facade's validate-and-walk historical read (user
+// keys, full range) instead of a fresh bound. Only segments whose
+// records the past bound covers are pruned — newer records stay, so
+// replay over the historical snapshot still converges to the log's
+// final state.
+func (d *durable) checkpointAt(w *wrap, ts uint64) error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	var mark uint64
+	if d.tr != nil {
+		mark = d.tr.Now()
+	}
+	d.log.RotateAll()
+	kvs, err := w.rangeQueryAt(d.th, 0, MaxKey, ts, d.snapBuf[:0])
+	d.snapBuf = kvs[:0]
+	if err != nil {
+		return err
+	}
+	core.SortKVs(kvs)
+	pairs := make([]wal.Pair, len(kvs))
+	for i, kv := range kvs {
+		pairs[i] = wal.Pair{Key: kv.Key, Val: kv.Val} // already user keys
+	}
+	err = d.log.WriteSnapshot(ts, pairs)
+	if d.tr != nil {
+		d.tr.SharedSpan(trace.PhaseSnapshotFlush, mark)
+	}
+	if err != nil {
+		return err
+	}
+	d.log.PruneUpTo(ts)
+	return nil
+}
+
 // flushLoop drives periodic snapshots until Close.
 func (d *durable) flushLoop() {
 	defer d.wg.Done()
@@ -412,6 +457,17 @@ func (w *wrap) Checkpoint() error {
 		return errNotDurable
 	}
 	return w.dur.checkpoint()
+}
+
+// CheckpointAt implements DurableMap.
+func (w *wrap) CheckpointAt(ts uint64) error {
+	if w.dur == nil {
+		return errNotDurable
+	}
+	if !w.hist {
+		return ErrHistoryUnsupported
+	}
+	return w.dur.checkpointAt(w, ts)
 }
 
 // WALError implements DurableMap.

@@ -288,6 +288,214 @@ func FuzzAdaptiveSwitch(f *testing.F) {
 	})
 }
 
+// FuzzTimeTravelAgainstModel checks MVCC time travel against a
+// versioned model. Three maps run the same single-threaded op tape: a
+// retain-everything map, its sharded twin (the cross-shard historical
+// fan-out must agree with the merged model exactly), and a
+// no-retention map where a historical read may legally refuse with
+// ErrTruncatedHistory but must otherwise return exactly the model
+// state. After every update the model state is snapshotted together
+// with a Now() stamp from each map; historical reads replay those
+// snapshots at stamps of arbitrary age — including the pre-history
+// stamp captured before the first update, which must read as empty.
+// The first tape byte picks the (structure, technique) pair among the
+// history-retaining ones, the second the shard count.
+func FuzzTimeTravelAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 5, 0, 6, 2, 5, 1, 6, 3, 4, 2, 9})
+	f.Add([]byte{3, 3, 0, 1, 4, 1, 0, 2, 5, 0, 1, 1, 2, 0})
+	seq := []byte{1, 2}
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i%6), byte(i*7))
+	}
+	f.Add(seq)
+
+	var combos []struct {
+		S Structure
+		T Technique
+	}
+	for _, c := range allCombos() {
+		if c.T == VCAS || c.T == Bundle {
+			combos = append(combos, c)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) < 2 {
+			return
+		}
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		c := combos[int(tape[0])%len(combos)]
+		shards := int(tape[1]%4) + 1
+		tape = tape[2:]
+		label := fmt.Sprintf("%v/%v/shards=%d", c.S, c.T, shards)
+
+		full, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2, Retention: ^uint64(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, err := NewSharded(c.S, c.T, shards, Config{Source: Logical, MaxThreads: 2, Retention: ^uint64(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight, err := New(c.S, c.T, Config{Source: Logical, MaxThreads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps := []Map{full, shard, tight}
+		ths := make([]*Thread, len(maps))
+		for i, m := range maps {
+			if ths[i], err = m.RegisterThread(); err != nil {
+				t.Fatal(err)
+			}
+			defer ths[i].Release()
+		}
+
+		// One snapshot per model state: a copy of the model plus the
+		// stamp each map handed out for that state. snaps[0] is the
+		// pre-history snapshot (empty state, first stamps — on a logical
+		// source that first Now() is timestamp zero).
+		type snap struct {
+			state map[uint64]uint64
+			ts    [3]uint64
+		}
+		record := func(model map[uint64]uint64) snap {
+			st := make(map[uint64]uint64, len(model))
+			for k, v := range model {
+				st[k] = v
+			}
+			var s snap
+			s.state = st
+			for i, m := range maps {
+				s.ts[i] = m.Now()
+			}
+			return s
+		}
+		model := map[uint64]uint64{}
+		snaps := []snap{record(model)}
+
+		// checkAt replays snapshot sn against map i at its captured
+		// stamp. mayTruncate permits an ErrTruncatedHistory refusal (the
+		// no-retention map makes no promise); any other error, or any
+		// divergence from the recorded state, fails.
+		checkAt := func(op int, i int, sn snap, key uint64) {
+			t.Helper()
+			m, th, ts := maps[i], ths[i], sn.ts[i]
+			mayTruncate := i == 2
+			wantV, wantOK := sn.state[key]
+			gotV, gotOK, err := m.GetAt(th, key, ts)
+			if err != nil {
+				if mayTruncate && err == ErrTruncatedHistory {
+					return
+				}
+				t.Fatalf("%s op %d map %d: GetAt(%d, ts=%d): %v", label, op, i, key, ts, err)
+			}
+			if gotV != wantV || gotOK != wantOK {
+				t.Fatalf("%s op %d map %d: GetAt(%d, ts=%d) = (%d,%v), model (%d,%v)",
+					label, op, i, key, ts, gotV, gotOK, wantV, wantOK)
+			}
+			lo, hi := key, key+16
+			var want []KV
+			for k, v := range sn.state {
+				if k >= lo && k <= hi {
+					want = append(want, KV{Key: k, Val: v})
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a].Key < want[b].Key })
+			got, err := m.RangeQueryAt(th, lo, hi, ts, nil)
+			if err != nil {
+				if mayTruncate && err == ErrTruncatedHistory {
+					return
+				}
+				t.Fatalf("%s op %d map %d: RangeQueryAt[%d,%d]@%d: %v", label, op, i, lo, hi, ts, err)
+			}
+			sort.Slice(got, func(a, b int) bool { return got[a].Key < got[b].Key })
+			if len(got) != len(want) {
+				t.Fatalf("%s op %d map %d: RangeQueryAt[%d,%d]@%d = %d pairs, model %d",
+					label, op, i, lo, hi, ts, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s op %d map %d: RangeQueryAt[%d,%d]@%d [%d] = %v, model %v",
+						label, op, i, lo, hi, ts, j, got[j], want[j])
+				}
+			}
+			var scanned []KV
+			if err := m.ScanAt(th, lo, hi, ts, func(kv KV) bool {
+				scanned = append(scanned, kv)
+				return true
+			}); err != nil {
+				if mayTruncate && err == ErrTruncatedHistory {
+					return
+				}
+				t.Fatalf("%s op %d map %d: ScanAt[%d,%d]@%d: %v", label, op, i, lo, hi, ts, err)
+			}
+			for j := range scanned {
+				if scanned[j] != want[j] { // ScanAt contract: ascending keys
+					t.Fatalf("%s op %d map %d: ScanAt[%d,%d]@%d [%d] = %v, model %v",
+						label, op, i, lo, hi, ts, j, scanned[j], want[j])
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(tape); i += 2 {
+			op := tape[i] % 6
+			key := uint64(tape[i+1])
+			switch op {
+			case 0, 1:
+				insert := op == 0
+				_, exists := model[key]
+				val := key*3 + uint64(i)
+				for j, m := range maps {
+					if insert {
+						if got := m.Insert(ths[j], key, val); got == exists {
+							t.Fatalf("%s op %d map %d: Insert(%d)=%v exists=%v", label, i, j, key, got, exists)
+						}
+					} else if got := m.Delete(ths[j], key); got != exists {
+						t.Fatalf("%s op %d map %d: Delete(%d)=%v exists=%v", label, i, j, key, got, exists)
+					}
+				}
+				if insert && !exists {
+					model[key] = val
+				} else if !insert {
+					delete(model, key)
+				}
+				snaps = append(snaps, record(model))
+			case 2, 3:
+				// Historical read at a stamp of tape-chosen age: index 0 is
+				// the pre-history stamp, the newest exercises the
+				// ts == Now() inclusive boundary.
+				sn := snaps[int(key)%len(snaps)]
+				for j := range maps {
+					checkAt(i, j, sn, key)
+				}
+			case 4:
+				// Pre-history on every map: state before any update.
+				for j := range maps {
+					checkAt(i, j, snaps[0], key)
+				}
+			default:
+				// Future timestamps must refuse on every map.
+				for j, m := range maps {
+					future := snaps[len(snaps)-1].ts[j] + 1000
+					if _, _, err := m.GetAt(ths[j], key, future); err != ErrFutureTimestamp {
+						t.Fatalf("%s op %d map %d: GetAt at future ts %d: err=%v, want ErrFutureTimestamp",
+							label, i, j, future, err)
+					}
+				}
+			}
+		}
+		// Final pass: every snapshot must still replay exactly on the
+		// retain-everything maps.
+		for si, sn := range snaps {
+			for j := 0; j < 2; j++ {
+				checkAt(-si, j, sn, uint64(si*13)%256)
+			}
+		}
+	})
+}
+
 // FuzzBatchStore checks the Jiffy-style store's batch semantics against
 // a model: a tape of batches (each up to 4 ops) applied to both.
 func FuzzBatchStore(f *testing.F) {

@@ -34,6 +34,41 @@ func TestPtrAtBoundaryTieBreak(t *testing.T) {
 	}
 }
 
+// TestPtrAtHistoricalBounds pins the bundle walk at arbitrary PAST
+// bounds, the contract time-travel reads are built on: the newest entry
+// labeled <= s wins (ties included), and once truncation has dropped
+// the entries a bound would need, the walk reports no-entry rather than
+// a younger target. The facade turns that blind spot into a typed
+// refusal by validating ts against the retention watermark before the
+// walk; this test pins the raw behavior the refusal protects against.
+func TestPtrAtHistoricalBounds(t *testing.T) {
+	n0, n5, n10 := new(int), new(int), new(int)
+	b := New(n0)
+	b.Finalize(b.Prepare(n5), 5)
+	b.Finalize(b.Prepare(n10), 10)
+
+	if dropped := b.Truncate(5); dropped != 1 {
+		t.Fatalf("Truncate(5) dropped %d entries, want 1", dropped)
+	}
+	cases := []struct {
+		s      uint64
+		want   *int
+		wantOK bool
+	}{
+		{4, nil, false}, // below retained history: detectably gone
+		{5, n5, true},   // exact surviving label: tied entry included
+		{9, n5, true},
+		{10, n10, true}, // tie at the newest
+		{11, n10, true},
+	}
+	for _, c := range cases {
+		got, ok := b.PtrAt(c.s)
+		if got != c.want || ok != c.wantOK {
+			t.Errorf("PtrAt(%d) = (%p,%v), want (%p,%v)", c.s, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
 // Truncate must keep the entry labeled exactly at the minimum active
 // bound — it is the target a snapshot at that bound follows.
 func TestTruncateBoundaryKeepsTiedEntry(t *testing.T) {

@@ -60,6 +60,7 @@ type BundleTree struct {
 	tr   *trace.Recorder
 	np   *pool.Pool[bnode]
 	ep   *pool.Pool[bundle.Entry[bnode]]
+	rb   *core.ReadBound
 	root *bnode
 }
 
@@ -85,6 +86,10 @@ func (t *BundleTree) SetGC(g *obs.GC) { t.gc = g }
 // bundle-dereference depth and pending-entry waits. Call before the tree
 // sees concurrent traffic.
 func (t *BundleTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes bundle-entry truncation through a retention
+// watermark (time-travel reads). Call before the tree sees traffic.
+func (t *BundleTree) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and bundle entries (see
 // Config.Alloc). Every node is published under locks after validation
@@ -293,7 +298,7 @@ func (t *BundleTree) maybeTruncate(n *bnode, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	min := t.reg.MinActiveRQ()
+	min := core.PruneBoundOf(t.rb, t.reg)
 	dropped := n.bnd[0].Truncate(min) + n.bnd[1].Truncate(min)
 	if t.gc != nil && dropped > 0 {
 		t.gc.BundlePruned.Add(uint64(dropped))

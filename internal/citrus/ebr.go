@@ -122,6 +122,21 @@ func (t *EBRTree) SetTrace(tr *trace.Recorder) {
 	t.em.SetTrace(tr)
 }
 
+// SetReadBound routes the epoch pruner's minimum-bound through a
+// retention watermark: with a non-zero window, limbo nodes whose
+// deletion timestamps are inside the window survive pruning (and
+// DrainAll) even with no range query in flight. A zero window keeps
+// classic EBR-RQ behavior. EBR-RQ retains no per-key version history,
+// so this extends limbo lifetimes only; it does not enable time-travel
+// reads on this technique. Call before the tree sees traffic.
+func (t *EBRTree) SetReadBound(rb *core.ReadBound) {
+	if rb == nil || rb.Window() == 0 {
+		return
+	}
+	reg := t.reg
+	t.em.SetMinRQ(func() core.TS { return rb.PruneBound(reg) })
+}
+
 func (t *EBRTree) noteRetries(th *core.Thread, retries uint64) {
 	if t.tr == nil {
 		return

@@ -37,6 +37,7 @@ type VcasTree struct {
 	tr   *trace.Recorder
 	np   *pool.Pool[vnode]
 	vp   *pool.Pool[vcas.Version[*vnode]]
+	rb   *core.ReadBound
 	root *vnode
 }
 
@@ -61,6 +62,10 @@ func (t *VcasTree) SetGC(g *obs.GC) { t.gc = g }
 // counts on updates, range-query timestamp/traverse spans and
 // version-walk lengths. Call before the tree sees concurrent traffic.
 func (t *VcasTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes version-chain truncation through a retention
+// watermark (time-travel reads). Call before the tree sees traffic.
+func (t *VcasTree) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and vCAS versions (see
 // Config.Alloc). Every node this tree creates is published (creation
@@ -280,7 +285,7 @@ func (t *VcasTree) maybeTruncate(n *vnode, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	min := t.reg.MinActiveRQ()
+	min := core.PruneBoundOf(t.rb, t.reg)
 	dropped := n.child[0].Truncate(min) + n.child[1].Truncate(min)
 	if t.gc != nil && dropped > 0 {
 		t.gc.VersionsPruned.Add(uint64(dropped))

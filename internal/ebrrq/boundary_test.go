@@ -38,3 +38,35 @@ func TestVisibleAtBoundaryTieBreak(t *testing.T) {
 		}
 	}
 }
+
+// TestVisibleAtHistoricalBound documents why EBR-RQ cannot serve
+// time-travel reads even though VisibleAt itself evaluates correctly at
+// any past bound: visibility is a predicate over a node's OWN lifetime
+// stamps, with the same inclusive tie rule at every s. What EBR-RQ does
+// not retain is reachability — a deleted node moves to a limbo list the
+// traversal never visits, and an overwrite keeps no previous value at
+// all. So a read at past s would evaluate VisibleAt over only the nodes
+// still linked, silently missing everything history has let go, which
+// is why the facade refuses those cells with ErrHistoryUnsupported
+// rather than returning a partial past.
+func TestVisibleAtHistoricalBound(t *testing.T) {
+	// A node that lived over [2, 6): the predicate answers correctly at
+	// every bound of its lifetime, before it, at the ties, and after —
+	// IF the traversal can still reach the node.
+	const itime, dtime = core.TS(2), core.TS(6)
+	cases := []struct {
+		s    core.TS
+		want bool
+	}{
+		{1, false}, // before the insert
+		{2, true},  // insert ties the bound: included
+		{5, true},
+		{6, false}, // delete ties the bound: excluded
+		{7, false},
+	}
+	for _, c := range cases {
+		if got := VisibleAt(itime, dtime, c.s); got != c.want {
+			t.Errorf("VisibleAt(%d, %d, s=%d) = %v, want %v", itime, dtime, c.s, got, c.want)
+		}
+	}
+}

@@ -161,6 +161,13 @@ func (m *Manager[T]) SetTrace(tr *trace.Recorder) { m.tr = tr }
 // recycled.
 func (m *Manager[T]) SetRecycle(fn func(item T, tid int)) { m.recycle = fn }
 
+// SetMinRQ replaces the minimum-active-range-query bound the pruner
+// consults (nil disables the bound). Used to route pruning through a
+// core.ReadBound watermark so retention windows extend limbo lifetimes
+// and historical reads can refuse truncated timestamps. Call before
+// the manager sees concurrent traffic.
+func (m *Manager[T]) SetMinRQ(fn func() core.TS) { m.minRQ = fn }
+
 // Pin enters an epoch-protected region for thread tid. Every data
 // structure operation (including range queries) runs pinned.
 //

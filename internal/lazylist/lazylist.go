@@ -50,6 +50,7 @@ type BundleList struct {
 	tr   *trace.Recorder
 	np   *pool.Pool[bnode]
 	ep   *pool.Pool[bundle.Entry[bnode]]
+	rb   *core.ReadBound
 	head *bnode
 }
 
@@ -70,6 +71,10 @@ func (t *BundleList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *BundleList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes bundle-entry truncation through a retention
+// watermark (time-travel reads). Call before the list sees traffic.
+func (t *BundleList) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and bundle entries (see
 // Config.Alloc). The lazy list has no reclamation scheme — unlinked
@@ -223,7 +228,7 @@ func (t *BundleList) Delete(th *core.Thread, key uint64) bool {
 
 func (t *BundleList) maybeTruncate(n *bnode, key uint64) {
 	if key%64 == 0 {
-		dropped := n.bnd.Truncate(t.reg.MinActiveRQ())
+		dropped := n.bnd.Truncate(core.PruneBoundOf(t.rb, t.reg))
 		if t.gc != nil && dropped > 0 {
 			t.gc.BundlePruned.Add(uint64(dropped))
 		}
@@ -321,6 +326,7 @@ type VcasList struct {
 	np   *pool.Pool[vnode]
 	vp   *pool.Pool[vcas.Version[*vnode]]
 	bp   *pool.Pool[vcas.Version[bool]]
+	rb   *core.ReadBound
 	head *vnode
 }
 
@@ -339,6 +345,10 @@ func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes version-chain truncation through a retention
+// watermark (time-travel reads). Call before the list sees traffic.
+func (t *VcasList) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and vCAS versions (see
 // Config.Alloc). As with the bundled variant, nothing published is ever
@@ -465,7 +475,7 @@ func (t *VcasList) Delete(th *core.Thread, key uint64) bool {
 
 func (t *VcasList) maybeTruncate(n *vnode, key uint64) {
 	if key%64 == 0 {
-		min := t.reg.MinActiveRQ()
+		min := core.PruneBoundOf(t.rb, t.reg)
 		dropped := n.next.Truncate(min) + n.marked.Truncate(min)
 		if t.gc != nil && dropped > 0 {
 			t.gc.VersionsPruned.Add(uint64(dropped))

@@ -112,6 +112,7 @@ type Tree struct {
 	tr   *trace.Recorder
 	np   *pool.Pool[node]
 	vp   *pool.Pool[vcas.Version[*node]]
+	rb   *core.ReadBound
 	root *node
 }
 
@@ -133,6 +134,10 @@ func (t *Tree) SetGC(g *obs.GC) { t.gc = g }
 // helping counts, range-query timestamp/traverse spans, and version-walk
 // lengths. Call before the tree sees concurrent traffic.
 func (t *Tree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes version-chain truncation through a retention
+// watermark (time-travel reads). Call before the tree sees traffic.
+func (t *Tree) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for tree nodes and vCAS versions
 // (see Config.Alloc). The vCAS tree has no reclamation scheme — spliced-
@@ -390,7 +395,7 @@ func (t *Tree) maybeTruncate(n *node, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	min := t.reg.MinActiveRQ()
+	min := core.PruneBoundOf(t.rb, t.reg)
 	dropped := n.left.Truncate(min) + n.right.Truncate(min)
 	if t.gc != nil && dropped > 0 {
 		t.gc.VersionsPruned.Add(uint64(dropped))

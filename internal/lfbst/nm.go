@@ -66,6 +66,7 @@ type NMTree struct {
 	tr  *trace.Recorder
 	np  *pool.Pool[nmNode]
 	ep  *pool.Pool[vcas.Version[edgeVal]]
+	rb  *core.ReadBound
 	r   *nmNode // sentinel root, key inf2
 	s   *nmNode // sentinel child, key inf1
 }
@@ -92,6 +93,10 @@ func (t *NMTree) SetGC(g *obs.GC) { t.gc = g }
 // behalf of another operation count as help. Call before the tree sees
 // concurrent traffic.
 func (t *NMTree) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes edge-version truncation through a retention
+// watermark (time-travel reads). Call before the tree sees traffic.
+func (t *NMTree) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for tree nodes and edge versions
 // (see Config.Alloc). As with the EFRB tree, nothing published is ever
@@ -338,7 +343,7 @@ func (t *NMTree) maybeTruncate(n *nmNode, key uint64) {
 	if key%64 != 0 || n.leaf {
 		return
 	}
-	min := t.reg.MinActiveRQ()
+	min := core.PruneBoundOf(t.rb, t.reg)
 	dropped := n.child[0].Truncate(min) + n.child[1].Truncate(min)
 	if t.gc != nil && dropped > 0 {
 		t.gc.VersionsPruned.Add(uint64(dropped))

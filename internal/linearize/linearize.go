@@ -37,6 +37,16 @@
 // stamps and per-key contention this ambiguity is vanishingly rare; a
 // reported violation includes the seed so the run can be replayed.
 //
+// Config.HistPct extends the same oracle to MVCC time travel: workers
+// periodically capture a timestamp with Map.Now() (recording the
+// wall-clock interval bracketing the capture) and later issue
+// GetAt/RangeQueryAt at it. The snapshot at a captured timestamp is the
+// map's state at some instant of the capture interval, so the checker
+// validates a historical read exactly like a live one — but against
+// [TSInv, TSRet], the capture interval, instead of [Inv, Ret]. A read
+// refused with ErrTruncatedHistory is recorded (Trunc) and skipped: the
+// retention window, not linearizability, decides those.
+//
 // Config.FaultRate is the fault-injection hook: it corrupts recorded
 // range-query results with mutations no real history can produce,
 // proving the checker can actually fail (see TestCheckerDetectsInjectedFault).
@@ -58,6 +68,8 @@ const (
 	OpContains
 	OpGet
 	OpRange
+	OpGetAt   // historical Get at a captured past timestamp
+	OpRangeAt // historical RangeQuery at a captured past timestamp
 )
 
 // String names the kind in violation reports.
@@ -73,6 +85,10 @@ func (k OpKind) String() string {
 		return "Get"
 	case OpRange:
 		return "RangeQuery"
+	case OpGetAt:
+		return "GetAt"
+	case OpRangeAt:
+		return "RangeQueryAt"
 	}
 	return "unknown"
 }
@@ -90,6 +106,17 @@ type Event struct {
 	KVs    []tscds.KV // RangeQuery result (unsorted)
 	Inv    int64
 	Ret    int64
+
+	// Historical reads (OpGetAt/OpRangeAt) carry the timestamp they read
+	// at, plus the wall-clock interval [TSInv, TSRet] bracketing the
+	// Now() call that captured it. The snapshot at TS is the map's state
+	// at some instant of that interval, so the checker validates the
+	// observation against [TSInv, TSRet] rather than [Inv, Ret]. Trunc
+	// marks a read refused with ErrTruncatedHistory — a legal outcome the
+	// checker skips.
+	TS           uint64
+	TSInv, TSRet int64
+	Trunc        bool
 }
 
 // History is a complete recorded run. Threads[i] is worker i's log for
@@ -110,15 +137,20 @@ func (h *History) Events() int {
 
 // Summary is a one-line operation census for test logs.
 func (h *History) Summary() string {
-	var counts [OpRange + 1]int
+	var counts [OpRangeAt + 1]int
+	trunc := 0
 	for _, log := range h.Threads {
 		for i := range log {
 			counts[log[i].Op]++
+			if log[i].Trunc {
+				trunc++
+			}
 		}
 	}
-	return fmt.Sprintf("%d events (ins %d, del %d, ctn %d, get %d, rq %d)",
+	return fmt.Sprintf("%d events (ins %d, del %d, ctn %d, get %d, rq %d, getat %d, rqat %d, trunc %d)",
 		h.Events(), counts[OpInsert], counts[OpDelete],
-		counts[OpContains], counts[OpGet], counts[OpRange])
+		counts[OpContains], counts[OpGet], counts[OpRange],
+		counts[OpGetAt], counts[OpRangeAt], trunc)
 }
 
 // Config parameterizes Run. The zero value is usable: every field has a
@@ -145,10 +177,18 @@ type Config struct {
 	// InsertPct, DeletePct, RangePct and GetPct set the operation mix in
 	// percent; the remainder is Contains (defaults 25/20/15/10).
 	InsertPct, DeletePct, RangePct, GetPct int
+	// HistPct adds time-travel reads to the mix: that percentage of each
+	// worker's operations read at a past timestamp the worker captured
+	// earlier with Map.Now() (half GetAt, half RangeQueryAt). Zero (the
+	// default) disables historical reads; only enable them on maps whose
+	// technique retains history (vCAS, Bundle) — an ErrHistoryUnsupported
+	// refusal aborts the run as a harness configuration error.
+	HistPct int
 	// FaultRate is the fault-injection hook: the probability, per range
-	// query, of corrupting the recorded result with a mutation that no
-	// correct execution can produce. Zero (the default) in normal use;
-	// set to 1 to prove the checker detects broken snapshots.
+	// query (live or historical), of corrupting the recorded result with
+	// a mutation that no correct execution can produce. Zero (the
+	// default) in normal use; set to 1 to prove the checker detects
+	// broken snapshots.
 	FaultRate float64
 	// Midpoint, when set, is called once by worker 0 halfway through its
 	// operation sequence, while every other worker keeps running. It is

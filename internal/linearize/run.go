@@ -1,12 +1,31 @@
 package linearize
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"tscds"
+)
+
+// tsStamp is one captured past timestamp: the value Now() returned and
+// the wall-clock interval bracketing the call. A historical read at ts
+// observes the map's state at some instant of [inv, ret].
+type tsStamp struct {
+	ts       uint64
+	inv, ret int64
+}
+
+// stampEvery is how often (in ops) a worker refreshes its stamp ring,
+// and stampRing how many stamps it retains. Eviction is random, so the
+// ring holds a spread of ages: fresh stamps exercise recent history,
+// stale ones cross adaptive switches and, under tight retention, the
+// ErrTruncatedHistory path.
+const (
+	stampEvery = 8
+	stampRing  = 32
 )
 
 // value encodes a globally unique inserted value: thread in the high
@@ -73,6 +92,16 @@ func Run(m tscds.Map, cfg Config) (*History, error) {
 	}
 	h.Threads[prefillTid] = plog
 
+	// Unexpected historical-read errors (ErrHistoryUnsupported on a cell
+	// the caller claimed retains history, or a future-timestamp refusal
+	// of a stamp that is necessarily in the past) are harness bugs, not
+	// linearizability violations: the first one aborts the run.
+	var (
+		runErr  error
+		errOnce sync.Once
+	)
+	fail := func(err error) { errOnce.Do(func() { runErr = err }) }
+
 	var wg sync.WaitGroup
 	for tid := 0; tid < cfg.Workers; tid++ {
 		wg.Add(1)
@@ -81,9 +110,27 @@ func Run(m tscds.Map, cfg Config) (*History, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(tid) + 1))
 			log := make([]Event, 0, cfg.Ops)
 			var seq uint64
+			var stamps []tsStamp
+			capture := func() {
+				inv := stamp()
+				ts := m.Now()
+				ret := stamp()
+				st := tsStamp{ts: ts, inv: inv, ret: ret}
+				if len(stamps) < stampRing {
+					stamps = append(stamps, st)
+				} else {
+					stamps[rng.Intn(len(stamps))] = st
+				}
+			}
+			if cfg.HistPct > 0 {
+				capture()
+			}
 			for i := 0; i < cfg.Ops; i++ {
 				if cfg.Midpoint != nil && tid == 0 && i == cfg.Ops/2 {
 					cfg.Midpoint()
+				}
+				if cfg.HistPct > 0 && i%stampEvery == 0 {
+					capture()
 				}
 				p := rng.Intn(100)
 				key := rng.Uint64() % cfg.KeyRange
@@ -118,6 +165,37 @@ func Run(m tscds.Map, cfg Config) (*History, error) {
 					ev.Inv = stamp()
 					ev.Val, ev.OK = m.Get(th, key)
 					ev.Ret = stamp()
+				case p < cfg.InsertPct+cfg.DeletePct+cfg.RangePct+cfg.GetPct+cfg.HistPct:
+					st := stamps[rng.Intn(len(stamps))]
+					ev.TS, ev.TSInv, ev.TSRet = st.ts, st.inv, st.ret
+					var err error
+					if rng.Intn(2) == 0 {
+						ev.Op, ev.Key = OpGetAt, key
+						ev.Inv = stamp()
+						ev.Val, ev.OK, err = m.GetAt(th, key, st.ts)
+						ev.Ret = stamp()
+					} else {
+						lo := rng.Uint64() % cfg.KeyRange
+						hi := lo + rng.Uint64()%cfg.RangeSpan
+						ev.Op, ev.Lo, ev.Hi = OpRangeAt, lo, hi
+						ev.Inv = stamp()
+						var kvs []tscds.KV
+						kvs, err = m.RangeQueryAt(th, lo, hi, st.ts, nil)
+						ev.Ret = stamp()
+						if err == nil && cfg.FaultRate > 0 && rng.Float64() < cfg.FaultRate {
+							kvs = corrupt(rng, kvs, lo)
+						}
+						ev.KVs = kvs
+					}
+					if err != nil {
+						if !errors.Is(err, tscds.ErrTruncatedHistory) {
+							fail(fmt.Errorf("linearize: worker %d historical read at ts %d: %w",
+								tid, st.ts, err))
+							return
+						}
+						ev.Trunc = true
+						ev.OK, ev.Val, ev.KVs = false, 0, nil
+					}
 				default:
 					ev.Op, ev.Key = OpContains, key
 					ev.Inv = stamp()
@@ -130,6 +208,9 @@ func Run(m tscds.Map, cfg Config) (*History, error) {
 		}(tid, ths[tid])
 	}
 	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
 	return h, nil
 }
 

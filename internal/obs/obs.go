@@ -322,6 +322,36 @@ func (g *GC) Snapshot() GCSnapshot {
 	}
 }
 
+// HistoryStats counts MVCC time-travel reads (Map.GetAt/RangeQueryAt/
+// ScanAt at caller-chosen past timestamps). Reads that refuse with
+// ErrHistoryUnsupported or ErrFutureTimestamp are not counted: the
+// first is a static capability miss, the second a caller bug; only
+// served snapshots and retention-window refusals say anything about
+// the history the map is actually keeping.
+type HistoryStats struct {
+	// Reads counts historical reads served from retained history.
+	Reads Counter
+	// Truncations counts historical reads refused with
+	// ErrTruncatedHistory: the requested timestamp fell below the
+	// published prune watermark. A growing rate means readers want
+	// more history than Config.Retention keeps.
+	Truncations Counter
+}
+
+// HistorySnapshot is a point-in-time copy of HistoryStats.
+type HistorySnapshot struct {
+	Reads       uint64 `json:"reads"`
+	Truncations uint64 `json:"truncations"`
+}
+
+// Snapshot copies the counters.
+func (h *HistoryStats) Snapshot() HistorySnapshot {
+	return HistorySnapshot{
+		Reads:       h.Reads.Load(),
+		Truncations: h.Truncations.Load(),
+	}
+}
+
 // PoolStats counts allocator-facade traffic when a structure runs in
 // pooled or arena mode (Config.Alloc): Hits are allocations served from
 // a per-thread free list or arena chunk without touching the Go heap;
@@ -380,6 +410,7 @@ type Registry struct {
 	GC       GC
 	Pool     PoolStats
 	WAL      WALStats
+	History  HistoryStats
 	kind     atomic.Pointer[string]
 	actual   atomic.Pointer[string]
 	strucLbl atomic.Pointer[string]
@@ -476,6 +507,9 @@ type Snapshot struct {
 	// WAL is present only for registries wired to a durable map
 	// (SetWALMode was called).
 	WAL *WALSnapshot `json:"wal,omitempty"`
+	// History is present once the map has served or refused at least
+	// one time-travel read.
+	History *HistorySnapshot `json:"history,omitempty"`
 	// Shards is present only for registries wired to a sharded map.
 	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
@@ -511,6 +545,9 @@ func (r *Registry) Snapshot() Snapshot {
 		ws := r.WAL.Snapshot()
 		ws.Mode = *m
 		s.WAL = &ws
+	}
+	if hs := r.History.Snapshot(); hs.Reads+hs.Truncations > 0 {
+		s.History = &hs
 	}
 	for c := OpClass(0); c < numOpClasses; c++ {
 		s.Ops[c.String()] = r.ops[c].Snapshot()
@@ -583,6 +620,10 @@ func (s Snapshot) Summary() string {
 	if g := s.GC; g.BundleEntriesPruned+g.VcasVersionsPruned+g.LimboRetired > 0 {
 		fmt.Fprintf(&b, "  gc: %d bundle entries pruned, %d versions pruned, %d limbo retired (%d pruned, %d live)\n",
 			g.BundleEntriesPruned, g.VcasVersionsPruned, g.LimboRetired, g.LimboPruned, g.LimboLen)
+	}
+	if h := s.History; h != nil {
+		fmt.Fprintf(&b, "  history: %d time-travel reads, %d refused below retention\n",
+			h.Reads, h.Truncations)
 	}
 	if p := s.Pool; p != nil {
 		total := p.Hits + p.Misses

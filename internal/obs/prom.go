@@ -167,6 +167,13 @@ func (r *Registry) WriteProm(w io.Writer) {
 	promHead(w, "tscds_gc_limbo_len", "Current total limbo population.", "gauge")
 	promI64(w, "tscds_gc_limbo_len", base, s.GC.LimboLen)
 
+	if h := s.History; h != nil {
+		promHead(w, "tscds_history_reads_total", "Historical (time-travel) reads served from retained version history.", "counter")
+		promU64(w, "tscds_history_reads_total", base, h.Reads)
+		promHead(w, "tscds_history_truncations_total", "Historical reads refused with ErrTruncatedHistory (timestamp below the retention watermark).", "counter")
+		promU64(w, "tscds_history_truncations_total", base, h.Truncations)
+	}
+
 	if p := s.Pool; p != nil {
 		pl := with(base, "mode", p.Mode)
 		promHead(w, "tscds_pool_hits_total", "Allocations served from a per-thread free list or arena chunk.", "counter")

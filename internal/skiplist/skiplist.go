@@ -67,6 +67,7 @@ type List struct {
 	tr   *trace.Recorder
 	np   *pool.Pool[node]
 	ep   *pool.Pool[bundle.Entry[node]]
+	rb   *core.ReadBound
 	head *node
 	rngs []core.PaddedUint64 // per-thread xorshift state for level draws
 }
@@ -95,6 +96,10 @@ func (t *List) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *List) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes bundle-entry truncation through a retention
+// watermark (time-travel reads). Call before the list sees traffic.
+func (t *List) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and bundle entries (see
 // Config.Alloc). The bundled list has no reclamation scheme for nodes —
@@ -359,7 +364,7 @@ func (t *List) maybeTruncate(n *node, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	dropped := n.bnd.Truncate(t.reg.MinActiveRQ())
+	dropped := n.bnd.Truncate(core.PruneBoundOf(t.rb, t.reg))
 	if t.gc != nil && dropped > 0 {
 		t.gc.BundlePruned.Add(uint64(dropped))
 	}

@@ -62,6 +62,7 @@ type VcasList struct {
 	np   *pool.Pool[vskipNode]
 	vp   *pool.Pool[vcas.Version[*vskipNode]]
 	bp   *pool.Pool[vcas.Version[bool]]
+	rb   *core.ReadBound
 	head *vskipNode
 	rngs []core.PaddedUint64
 }
@@ -89,6 +90,10 @@ func (t *VcasList) SetGC(g *obs.GC) { t.gc = g }
 // SetTrace attaches a flight recorder (nil disables it). Call before the
 // list sees concurrent traffic.
 func (t *VcasList) SetTrace(tr *trace.Recorder) { t.tr = tr }
+
+// SetReadBound routes version-chain truncation through a retention
+// watermark (time-travel reads). Call before the list sees traffic.
+func (t *VcasList) SetReadBound(rb *core.ReadBound) { t.rb = rb }
 
 // SetAlloc selects the allocation mode for nodes and vCAS versions (see
 // Config.Alloc). Versions detached by Truncate stay readable to snapshot
@@ -322,7 +327,7 @@ func (t *VcasList) maybeTruncate(n *vskipNode, key uint64) {
 	if key%64 != 0 {
 		return
 	}
-	min := t.reg.MinActiveRQ()
+	min := core.PruneBoundOf(t.rb, t.reg)
 	dropped := n.next0.Truncate(min) + n.dead.Truncate(min)
 	if t.gc != nil && dropped > 0 {
 		t.gc.VersionsPruned.Add(uint64(dropped))

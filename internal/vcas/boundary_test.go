@@ -44,6 +44,58 @@ func TestReadVersionBoundaryTieBreak(t *testing.T) {
 	}
 }
 
+// TestReadVersionHistoricalBounds pins the version walk's behavior at
+// arbitrary PAST bounds, the contract time-travel reads are built on:
+// the walk returns exactly the newest version labeled <= s (ties
+// included), and below the oldest retained label it reports a miss
+// rather than the oldest survivor. That miss is indistinguishable from
+// "key never written", which is precisely why the facade validates ts
+// against the retention watermark (core.ReadBound.CheckAt) BEFORE
+// trusting the walk: after truncation a bare walk would fabricate
+// absence for timestamps the history no longer covers.
+func TestReadVersionHistoricalBounds(t *testing.T) {
+	src := core.NewLogical()
+	o := New[uint64](10) // labeled 0
+	for src.Peek() < 3 {
+		src.Advance()
+	}
+	o.Write(src, 20) // labeled 3
+	for src.Peek() < 7 {
+		src.Advance()
+	}
+	o.Write(src, 30) // labeled 7
+
+	cases := []struct {
+		s      core.TS
+		want   uint64
+		wantOK bool
+	}{
+		{0, 10, true}, // init label ties the bound
+		{1, 10, true},
+		{2, 10, true},
+		{3, 20, true}, // exact label: tied version included
+		{4, 20, true},
+		{6, 20, true},
+		{7, 30, true}, // tie again at the newest
+		{9, 30, true},
+	}
+	for _, c := range cases {
+		if v, ok := o.ReadVersion(src, c.s); v != c.want || ok != c.wantOK {
+			t.Errorf("ReadVersion(s=%d) = (%d,%v), want (%d,%v)", c.s, v, ok, c.want, c.wantOK)
+		}
+	}
+
+	// After pruning up to the middle version, bounds below its label
+	// miss — the walk cannot tell truncated from never-written.
+	o.Truncate(3)
+	if v, ok := o.ReadVersion(src, 3); !ok || v != 20 {
+		t.Fatalf("after Truncate(3), ReadVersion(3) = (%d,%v), want the tied survivor 20", v, ok)
+	}
+	if v, ok := o.ReadVersion(src, 2); ok {
+		t.Fatalf("after Truncate(3), ReadVersion(2) = (%d,%v): below-history bound resolved instead of missing", v, ok)
+	}
+}
+
 // Truncate must keep the newest version labeled exactly at the minimum
 // active bound — it is the version a snapshot at that bound reads.
 func TestTruncateBoundaryKeepsTiedVersion(t *testing.T) {

@@ -101,8 +101,10 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 		cfg.Metrics.EnsureShards(shards)
 		src = core.InstrumentSource(src, &cfg.Metrics.Source)
 	}
+	rb := core.NewReadBound(src, cfg.Retention)
 	sh := &shardedInner{
 		src:    src,
+		rb:     rb,
 		peek:   t == Bundle,
 		inners: make([]inner, shards),
 		ats:    make([]rangeQueryAt, shards),
@@ -136,7 +138,10 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 		// recorder (its rings are single-writer per thread, which
 		// per-shard handles do not guarantee). Pool stats aggregate
 		// across shards like the GC counters do.
-		wireSinks(m, cfg.Metrics, nil, cfg.Alloc)
+		// One SHARED retention watermark across the shards: the source is
+		// shared, so a single prune intent covers every shard's truncation
+		// and one CheckAt validates a cross-shard historical bound.
+		wireSinks(m, cfg.Metrics, nil, cfg.Alloc, rb)
 	}
 	var tr *trace.Recorder
 	if cfg.Trace != nil {
@@ -144,8 +149,12 @@ func NewSharded(s Structure, t Technique, shards int, cfg Config) (*ShardedMap, 
 	}
 	sh.tr = tr
 	sm := &ShardedMap{
-		wrap: wrap{m: sh, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr},
-		n:    shards,
+		wrap: wrap{
+			m: sh, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src,
+			shift: shift, obs: cfg.Metrics, tr: tr,
+			rb: rb, hist: t == VCAS || t == Bundle,
+		},
+		n: shards,
 	}
 	if cfg.Durability != nil {
 		// The WAL shards by the same internal-key residue as the map,
@@ -168,6 +177,7 @@ type shardedInner struct {
 	provs  []*ebrrq.Provider // per-shard providers; nil unless EBR-RQ
 	stats  []*obs.ShardStats // per-shard routing counts; nil without metrics
 	src    core.Source       // the one shared source
+	rb     *core.ReadBound   // the one shared retention watermark
 	peek   bool              // bound via Peek (bundles) rather than Snapshot
 	tr     *trace.Recorder   // fan-out spans only; never forwarded to shards
 }

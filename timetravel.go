@@ -1,0 +1,198 @@
+package tscds
+
+import (
+	"errors"
+	"time"
+
+	"tscds/internal/core"
+	"tscds/internal/obs"
+	"tscds/internal/obs/trace"
+)
+
+// This file implements MVCC time-travel reads: GetAt, RangeQueryAt and
+// ScanAt read the map as of a caller-chosen past timestamp. The vCAS
+// and Bundle techniques already retain, per key, every version an
+// in-flight range query could need — the same walk that collects a
+// range at a snapshot bound s collects it at ANY timestamp, provided
+// truncation has not passed it. Time travel is therefore the live
+// range-query machinery pointed at an old instant, plus a watermark
+// (core.ReadBound) that makes "truncation passed it" a typed error
+// instead of a silently-too-new value:
+//
+//   - The reader reserves its announcement slot (BeginRQ), then
+//     validates ts against the watermark (CheckAt), then announces ts
+//     and collects. Pruners publish their intended bound BEFORE
+//     scanning the slots, so every read either refuses or is protected
+//     by its announcement — never racing a truncation past its ts.
+//   - Config.Retention widens the watermark: versions younger than
+//     Peek()-Retention are never offered to truncation, so reads
+//     inside the window always resolve.
+//
+// EBR-RQ keeps limbo lists of deleted nodes, not per-key version
+// chains: once an update overwrites a value or a key's liveness
+// changes, the previous state is unreachable even though the node's
+// memory lingers. Those cells refuse with ErrHistoryUnsupported.
+
+// Typed errors for time-travel reads (aliases of the internal/core
+// values, so errors.Is works against either package's name).
+var (
+	// ErrTruncatedHistory: the requested timestamp is older than
+	// retained history — the version current at ts may already be
+	// truncated, so the read refuses rather than serve a too-new value.
+	ErrTruncatedHistory = core.ErrTruncatedHistory
+	// ErrFutureTimestamp: the requested timestamp is ahead of the
+	// source; no consistent snapshot exists there yet.
+	ErrFutureTimestamp = core.ErrFutureTimestamp
+	// ErrHistoryUnsupported: the map's technique (EBR-RQ) retains no
+	// per-key version history, so no past timestamp can be served.
+	ErrHistoryUnsupported = errors.New("tscds: technique retains no version history (time travel requires vCAS or Bundle)")
+)
+
+// Now returns a timestamp capturing the present moment; see Map.Now.
+// Snapshot (not Peek) is deliberate: on a logical source it
+// pre-increments the counter, so every later update labels strictly
+// greater and a read at this timestamp observes exactly the current
+// state.
+func (w *wrap) Now() uint64 { return uint64(w.srcImpl.Snapshot()) }
+
+// GetAt reads key as of ts; see Map.GetAt. It is a width-zero
+// RangeQueryAt: the same announce/validate/walk protocol, the same
+// boundary rule (a version labeled exactly ts is included, a delete
+// labeled exactly ts excludes the key).
+func (w *wrap) GetAt(th *Thread, key, ts uint64) (uint64, bool, error) {
+	if !w.hist {
+		return 0, false, ErrHistoryUnsupported
+	}
+	if key > MaxKey {
+		return 0, false, nil
+	}
+	var tmp [1]KV
+	kvs, err := w.RangeQueryAt(th, key, key, ts, tmp[:0])
+	if err != nil || len(kvs) == 0 {
+		return 0, false, err
+	}
+	return kvs[0].Val, true, nil
+}
+
+// RangeQueryAt collects [lo, hi] as of ts; see Map.RangeQueryAt. As
+// with RangeQuery, an empty interval returns buf unchanged without
+// validating ts (no snapshot is taken, so there is nothing to refuse).
+func (w *wrap) RangeQueryAt(th *Thread, lo, hi, ts uint64, buf []KV) ([]KV, error) {
+	if !w.hist {
+		return buf, ErrHistoryUnsupported
+	}
+	if hi < lo || lo > MaxKey {
+		return buf, nil
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if w.obs == nil && w.tr == nil {
+		return w.rangeQueryAt(th, lo, hi, ts, buf)
+	}
+	w.tr.OpBegin(th.ID, trace.OpRange)
+	start := time.Now()
+	buf, err := w.rangeQueryAt(th, lo, hi, ts, buf)
+	w.observe(th, obs.OpRange, trace.OpRange, start)
+	if w.obs != nil {
+		switch {
+		case err == nil:
+			w.obs.History.Reads.Inc()
+		case errors.Is(err, ErrTruncatedHistory):
+			w.obs.History.Truncations.Inc()
+		}
+	}
+	return buf, err
+}
+
+// rangeQueryAt is RangeQueryAt after clamping and instrumentation: the
+// reserve-validate-collect protocol over the internal key space.
+func (w *wrap) rangeQueryAt(th *Thread, lo, hi, ts uint64, buf []KV) ([]KV, error) {
+	base := len(buf)
+	lo, hi = lo+w.shift, hi+w.shift
+	var err error
+	if sh, ok := w.m.(*shardedInner); ok {
+		buf, err = sh.rangeQueryAtBound(th, lo, hi, core.TS(ts), buf)
+	} else {
+		// Reserve the slot FIRST: from here until the structure's
+		// RangeQueryAt announces ts, MinActiveRQ is pinned at zero, so
+		// no pruner that CheckAt has not already accounted for can pass
+		// ts. The structure's collection announces and releases.
+		th.BeginRQ()
+		if err = w.rb.CheckAt(core.TS(ts)); err != nil {
+			th.DoneRQ()
+			return buf, err
+		}
+		buf = w.m.(rangeQueryAt).RangeQueryAt(th, lo, hi, core.TS(ts), buf)
+	}
+	if err != nil {
+		return buf, err
+	}
+	if w.shift != 0 {
+		for i := base; i < len(buf); i++ {
+			buf[i].Key -= w.shift
+		}
+	}
+	return buf, nil
+}
+
+// ScanAt streams the snapshot at ts in ascending key order; see
+// Map.ScanAt.
+func (w *wrap) ScanAt(th *Thread, lo, hi, ts uint64, fn func(KV) bool) error {
+	kvs, err := w.RangeQueryAt(th, lo, hi, ts, nil)
+	if err != nil {
+		return err
+	}
+	core.SortKVs(kvs)
+	for _, kv := range kvs {
+		if !fn(kv) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// rangeQueryAtBound is the cross-shard historical fan-out: reserve
+// every overlapping shard, validate ts once against the shared
+// watermark, then collect each shard at ts. Unlike the live fan-out
+// there is no generation-revalidation retry loop — ts is a fixed
+// number, so the cut "labels <= ts" is stable across an adaptive
+// generation switch (later generations are numerically greater, and a
+// version still Pending can only resolve to a label at or after the
+// present, which CheckAt already placed above ts).
+func (sh *shardedInner) rangeQueryAtBound(th *core.Thread, lo, hi uint64, s core.TS, out []core.KV) ([]core.KV, error) {
+	n := len(sh.inners)
+	all := hi-lo >= uint64(n-1)
+	first := lo % uint64(n)
+	width := hi - lo
+	hit := func(i int) bool {
+		return all || (uint64(i)+uint64(n)-first)%uint64(n) <= width
+	}
+	for i := 0; i < n; i++ {
+		if hit(i) {
+			th.Shard(i).BeginRQ()
+		}
+	}
+	if err := sh.rb.CheckAt(s); err != nil {
+		for i := 0; i < n; i++ {
+			if hit(i) {
+				th.Shard(i).DoneRQ()
+			}
+		}
+		return out, err
+	}
+	for i := 0; i < n; i++ {
+		if !hit(i) {
+			continue
+		}
+		out = sh.ats[i].RangeQueryAt(th.Shard(i), lo, hi, s, out)
+	}
+	if sh.stats != nil {
+		for i := 0; i < n; i++ {
+			if hit(i) {
+				sh.stats[i].RQs.Inc()
+			}
+		}
+	}
+	return out, nil
+}

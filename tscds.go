@@ -205,6 +205,22 @@ type Config struct {
 	// Opening over a non-empty directory recovers the durable state
 	// before the constructor returns. See Durability and DurableMap.
 	Durability *Durability
+	// Retention is the time-travel window in source ticks: version
+	// history younger than Peek()-Retention is never pruned, so GetAt/
+	// RangeQueryAt/ScanAt at timestamps inside the window always
+	// resolve on history-retaining techniques (vCAS and Bundle). Reads
+	// below the window return ErrTruncatedHistory. Zero (the default)
+	// makes no retention promise: pruning behaves as before, and only
+	// not-yet-pruned timestamps resolve. On EBR-RQ maps — which retain
+	// no per-key version history and refuse time travel outright — a
+	// non-zero window still extends limbo-node lifetimes at the epoch
+	// prune points, but cannot enable historical reads. Wider windows
+	// hold proportionally more memory on update-heavy workloads: the
+	// version chains ARE the history. The window is measured in ticks
+	// of the current source generation (an Adaptive switch eventually
+	// expires prior-generation history; within the window after a
+	// switch, pre-switch timestamps still resolve).
+	Retention uint64
 }
 
 // TSCHealth monitors whether the hardware timestamp counter actually
@@ -275,6 +291,29 @@ type Map interface {
 	// limbo lists), so early exit is a convenience, not always a
 	// cost saving. An empty interval (hi < lo) never calls fn.
 	Scan(th *Thread, lo, hi uint64, fn func(KV) bool)
+	// Now returns a timestamp capturing the present: every update that
+	// completes after Now returns labels strictly later (up to the
+	// hardware-tie corner the paper accepts for TSC, where a concurrent
+	// update may tie and is then included at that instant). Pass it to
+	// GetAt/RangeQueryAt/ScanAt — immediately or much later — to read
+	// the map as of this moment.
+	Now() uint64
+	// GetAt reads key as of timestamp ts: the value the newest version
+	// labeled <= ts holds, or ok=false if the key was absent at ts. On
+	// techniques without version history (EBR-RQ) it returns
+	// ErrHistoryUnsupported; for ts older than retained history,
+	// ErrTruncatedHistory; for ts ahead of the source,
+	// ErrFutureTimestamp. See Config.Retention.
+	GetAt(th *Thread, key, ts uint64) (uint64, bool, error)
+	// RangeQueryAt is RangeQuery against the snapshot at a caller-
+	// chosen past timestamp ts, with GetAt's error semantics. All
+	// returned pairs are from the single instant ts, even across
+	// shards.
+	RangeQueryAt(th *Thread, lo, hi, ts uint64, buf []KV) ([]KV, error)
+	// ScanAt streams the snapshot at ts to fn in ascending key order;
+	// returning false stops early. Error semantics as GetAt; fn is
+	// never called when an error is returned.
+	ScanAt(th *Thread, lo, hi, ts uint64, fn func(KV) bool) error
 	// Len counts keys; quiescent use only.
 	Len() int
 	// Drain eagerly releases memory retained for in-flight readers
@@ -363,8 +402,13 @@ func New(s Structure, t Technique, cfg Config) (Map, error) {
 	if cfg.Trace != nil {
 		tr = trace.NewRecorder(reg.Cap(), cfg.Trace.RingSize)
 	}
-	w := &wrap{m: m, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src, shift: shift, obs: cfg.Metrics, tr: tr}
-	wireSinks(m, cfg.Metrics, tr, cfg.Alloc)
+	rb := core.NewReadBound(src, cfg.Retention)
+	w := &wrap{
+		m: m, reg: reg, s: s, t: t, src: cfg.Source, srcImpl: src,
+		shift: shift, obs: cfg.Metrics, tr: tr,
+		rb: rb, hist: t == VCAS || t == Bundle,
+	}
+	wireSinks(m, cfg.Metrics, tr, cfg.Alloc, rb)
 	if cfg.Durability != nil {
 		if err := w.enableDurability(cfg, 1); err != nil {
 			return nil, err
@@ -383,10 +427,15 @@ func newSource(cfg Config) core.Source {
 	return core.New(cfg.Source)
 }
 
-// wireSinks attaches the metrics GC counters, the flight recorder and
-// the allocation mode to an inner that supports them. Call before the
-// structure sees traffic.
-func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder, alloc AllocMode) {
+// wireSinks attaches the metrics GC counters, the flight recorder, the
+// allocation mode and the retention watermark to an inner that supports
+// them. Call before the structure sees traffic.
+func wireSinks(m inner, metrics *Metrics, tr *trace.Recorder, alloc AllocMode, rb *core.ReadBound) {
+	if rb != nil {
+		if b, ok := m.(interface{ SetReadBound(*core.ReadBound) }); ok {
+			b.SetReadBound(rb)
+		}
+	}
 	if metrics != nil {
 		if g, ok := m.(interface{ SetGC(*obs.GC) }); ok {
 			g.SetGC(&metrics.GC)
@@ -509,7 +558,9 @@ type wrap struct {
 	shift   uint64
 	obs     *obs.Registry
 	tr      *trace.Recorder
-	dur     *durable // durability layer; nil unless Config.Durability
+	dur     *durable        // durability layer; nil unless Config.Durability
+	rb      *core.ReadBound // retention watermark for time-travel reads
+	hist    bool            // technique retains version history (vCAS/Bundle)
 }
 
 func (w *wrap) RegisterThread() (*Thread, error) { return w.reg.Register() }
